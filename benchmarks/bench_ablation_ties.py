@@ -1,0 +1,69 @@
+"""Ablation: how value density (tie frequency) shapes Figure 10.
+
+The paper's bottom-left vs bottom-right diagrams differ because ties on
+the deciding column force comparisons over the rest of the list.  This
+ablation sweeps the deciding column's domain from dense (ties
+everywhere) to sparse (ties vanish) and shows the with-codes comparison
+count collapsing toward zero while the no-codes baseline barely moves —
+codes cache exactly the work ties create.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import run_fig10_cell
+from repro.bench.harness import format_table
+from repro.ovc.stats import ComparisonStats
+from repro.workloads.generators import fig10_table
+
+LIST_LEN = 8
+
+
+def _counts(n_rows: int, domain: int) -> dict:
+    table = fig10_table(
+        n_rows, LIST_LEN, decide="first", n_runs=min(256, n_rows // 4),
+        domain=domain, seed=0,
+    )
+    out = {"domain": domain}
+    for use_ovc in (False, True):
+        stats = ComparisonStats()
+        run_fig10_cell(table, LIST_LEN, use_ovc, stats)
+        out["ovc" if use_ovc else "no_ovc"] = stats.column_comparisons
+    return out
+
+
+def test_tie_density_ablation(n_rows_small):
+    rows = [
+        _counts(n_rows_small, domain)
+        for domain in (4, 64, 1024, 1 << 16, 1 << 24)
+    ]
+    print()
+    print(
+        format_table(
+            rows,
+            f"Ablation: column comparisons vs deciding-value domain "
+            f"({n_rows_small:,} rows, lists of {LIST_LEN})",
+        )
+    )
+    # With codes, comparisons shrink monotonically as ties disappear...
+    coded = [r["ovc"] for r in rows]
+    assert coded[0] > coded[-1]
+    assert coded[-1] < n_rows_small // 8
+    # ... while the baseline stays within a small factor throughout.
+    baseline = [r["no_ovc"] for r in rows]
+    assert max(baseline) < 4 * min(baseline)
+    # And codes always win.
+    for r in rows:
+        assert r["ovc"] < r["no_ovc"]
+
+
+@pytest.mark.parametrize("domain", [4, 1 << 16])
+def test_tie_density_runtime(benchmark, n_rows_small, domain):
+    table = fig10_table(
+        n_rows_small, LIST_LEN, decide="first",
+        n_runs=min(256, n_rows_small // 4), domain=domain, seed=0,
+    )
+    benchmark.group = "ablation: tie density (with codes)"
+    result = benchmark(run_fig10_cell, table, LIST_LEN, True)
+    assert len(result) == len(table)

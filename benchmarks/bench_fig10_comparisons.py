@@ -1,0 +1,117 @@
+"""Figure 10 (bottom): counts of column value comparisons for changing
+A,B -> B,A — the machine-independent metric.
+
+Paper results at 2^20 rows, 512 runs (log scale in the figure):
+
+* first column decides, no codes: 9.5e6 .. 112e6 (list length 1..16);
+* first column decides, with codes: 0 at length 1, then 0.66e6 .. 9.9e6;
+* last column decides, no codes: 9.5e6 .. 151e6;
+* last column decides, with codes: 0 .. just under 4,000.
+
+This bench regenerates the grid at the configured scale, prints it in
+the paper's layout, and asserts the qualitative claims (ratios, zeros,
+orders of magnitude).  Wall time is not measured here; run once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import run_fig10_cell
+from repro.bench.harness import format_table
+from repro.ovc.stats import ComparisonStats
+from repro.workloads.generators import fig10_table
+
+LIST_LENGTHS = (1, 2, 4, 8, 16)
+
+
+@pytest.fixture(scope="module")
+def grid(n_rows_default):
+    """Comparison counts for the whole Figure 10 grid."""
+    n_runs = min(512, n_rows_default // 2)
+    cells = {}
+    for decide in ("first", "last"):
+        for list_len in LIST_LENGTHS:
+            table = fig10_table(
+                n_rows_default, list_len, decide=decide, n_runs=n_runs, seed=0
+            )
+            for use_ovc in (False, True):
+                stats = ComparisonStats()
+                run_fig10_cell(table, list_len, use_ovc, stats)
+                cells[(decide, list_len, use_ovc)] = stats.snapshot()
+    return cells
+
+
+def test_fig10_comparison_counts_table(grid, n_rows_default):
+    rows = [
+        {
+            "decide": decide,
+            "list_len": list_len,
+            "ovc": use_ovc,
+            "column_comparisons": grid[(decide, list_len, use_ovc)].column_comparisons,
+            "row_comparisons": grid[(decide, list_len, use_ovc)].row_comparisons,
+        }
+        for decide in ("first", "last")
+        for list_len in LIST_LENGTHS
+        for use_ovc in (False, True)
+    ]
+    print()
+    print(
+        format_table(
+            rows,
+            f"Figure 10 (bottom): column comparisons, {n_rows_default:,} rows",
+        )
+    )
+
+
+def test_single_column_lists_need_no_comparisons_with_codes(grid):
+    """With list length 1, input codes already capture everything: the
+    merge performs zero column comparisons (both variants coincide)."""
+    assert grid[("first", 1, True)].column_comparisons == 0
+    assert grid[("last", 1, True)].column_comparisons == 0
+
+
+def test_last_decides_with_codes_stays_tiny(grid, n_rows_default):
+    """Paper: 0 to "just under 4,000" — comparisons are bounded by run
+    bookkeeping (runs x list length), orders below the baseline, which
+    scales with the row count."""
+    n_runs = min(512, n_rows_default // 2)
+    for list_len in LIST_LENGTHS[1:]:
+        with_codes = grid[("last", list_len, True)].column_comparisons
+        without = grid[("last", list_len, False)].column_comparisons
+        assert with_codes <= 2 * n_runs * (list_len + 2)
+        # The gap scales with the run length (with-codes work is per
+        # run, baseline work is per row).
+        assert with_codes * (n_rows_default // n_runs) < without
+
+
+def test_first_decides_with_codes_comes_from_merge_key_resumes(grid):
+    """First-decides leaves real work only when deciding values collide
+    across runs; still far below the baseline."""
+    for list_len in LIST_LENGTHS[1:]:
+        with_codes = grid[("first", list_len, True)].column_comparisons
+        without = grid[("first", list_len, False)].column_comparisons
+        assert with_codes < without / 5
+        # And more comparisons than the last-decides variant, as in the
+        # paper's bottom-left vs bottom-right diagrams.
+        assert with_codes > grid[("last", list_len, True)].column_comparisons
+
+
+def test_baseline_grows_with_list_length(grid):
+    for decide in ("first", "last"):
+        counts = [
+            grid[(decide, ll, False)].column_comparisons for ll in LIST_LENGTHS
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] > 3 * counts[0]
+
+
+def test_ovc_reduces_row_comparison_count_too(grid):
+    """Merging with codes also saves row comparisons (duplicates bypass
+    the tree entirely)."""
+    for decide in ("first", "last"):
+        for list_len in LIST_LENGTHS:
+            assert (
+                grid[(decide, list_len, True)].row_comparisons
+                <= grid[(decide, list_len, False)].row_comparisons
+            )

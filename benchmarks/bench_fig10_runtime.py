@@ -1,0 +1,33 @@
+"""Figure 10 (top): run time of changing A,B -> B,A, with and without
+offset-value codes, for column lists of varying lengths.
+
+Paper result: offset-value codes cut run time by 20-35%, with the
+larger benefit when the *last* column of each list decides comparisons.
+One pytest-benchmark entry per (decide, list_len, ovc) cell.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import run_fig10_cell
+from repro.workloads.generators import fig10_table
+
+LIST_LENGTHS = (1, 2, 4, 8, 16)
+
+
+def _make(n_rows: int, list_len: int, decide: str):
+    return fig10_table(
+        n_rows, list_len, decide=decide, n_runs=min(512, n_rows // 2), seed=0
+    )
+
+
+@pytest.mark.parametrize("list_len", LIST_LENGTHS)
+@pytest.mark.parametrize("decide", ["first", "last"])
+@pytest.mark.parametrize("use_ovc", [False, True], ids=["no-ovc", "ovc"])
+def test_fig10_runtime(benchmark, n_rows_default, list_len, decide, use_ovc):
+    table = _make(n_rows_default, list_len, decide)
+    benchmark.group = f"fig10 {decide}-decides len={list_len}"
+    result = benchmark(run_fig10_cell, table, list_len, use_ovc)
+    assert len(result) == len(table)
+    assert result.is_sorted()

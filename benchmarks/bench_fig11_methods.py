@@ -1,0 +1,93 @@
+"""Figure 11: run time of changing A,B,C -> A,C,B with three methods —
+segmented sorting only, merging pre-existing runs only, and the
+combination — across segment counts (hypothesis 9).
+
+Paper result: segment-sort-only is slowest for large segments and
+improves as segments shrink; merge-only beats it for few segments but
+degrades again when runs get too short; the combination is consistently
+best.  One pytest-benchmark entry per (segments, method) cell plus
+shape assertions over collected wall times.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.figures import FIG11_METHODS, run_fig11_cell
+from repro.bench.harness import format_table
+from repro.ovc.stats import ComparisonStats
+from repro.workloads.generators import fig11_table
+
+
+def segment_counts(n_rows: int) -> list[int]:
+    return [s for s in (2, 8, 32, 128, 512, 2048, 8192, 32768) if 2 * s <= n_rows]
+
+
+@pytest.mark.parametrize("method", FIG11_METHODS)
+@pytest.mark.parametrize("n_segments", (2, 32, 512))
+def test_fig11_runtime(benchmark, n_rows_default, n_segments, method):
+    table = fig11_table(n_rows_default, n_segments, seed=0)
+    benchmark.group = f"fig11 segments={n_segments}"
+    result = benchmark(run_fig11_cell, table, method)
+    assert len(result) == len(table)
+
+
+def test_fig11_shape(n_rows_small):
+    """The qualitative claims of Figure 11, on measured wall time and
+    row comparisons."""
+    timings: dict[tuple, float] = {}
+    comparisons: dict[tuple, int] = {}
+    counts = segment_counts(n_rows_small)
+    for n_segments in counts:
+        table = fig11_table(n_rows_small, n_segments, seed=0)
+        for method in FIG11_METHODS:
+            stats = ComparisonStats()
+            start = time.perf_counter()
+            run_fig11_cell(table, method, stats)
+            timings[(n_segments, method)] = time.perf_counter() - start
+            comparisons[(n_segments, method)] = stats.row_comparisons
+
+    print()
+    print(
+        format_table(
+            [
+                {
+                    "segments": s,
+                    **{
+                        m: round(timings[(s, m)], 4)
+                        for m in FIG11_METHODS
+                    },
+                }
+                for s in counts
+            ],
+            f"Figure 11: seconds per method, {n_rows_small:,} rows",
+        )
+    )
+
+    few, many = counts[0], counts[-1]
+    # Segment-sort-only is the worst method for few, large segments.
+    assert timings[(few, "segment_sort")] == max(
+        timings[(few, m)] for m in FIG11_METHODS
+    )
+    # Its effort shrinks as segments shrink (fewer comparisons per sort).
+    assert (
+        comparisons[(many, "segment_sort")]
+        < comparisons[(few, "segment_sort")] / 2
+    )
+    # Merge-only degrades at the many-segments end relative to combined.
+    assert (
+        comparisons[(many, "merge_runs")]
+        > comparisons[(many, "combined")]
+    )
+    # Hypothesis 9: the combination is never beaten on comparisons...
+    for s in counts:
+        assert comparisons[(s, "combined")] <= min(
+            comparisons[(s, "segment_sort")], comparisons[(s, "merge_runs")]
+        ) + s  # segment bookkeeping tolerance
+    # ... and wins overall wall time in aggregate.
+    total = {
+        m: sum(timings[(s, m)] for s in counts) for m in FIG11_METHODS
+    }
+    assert total["combined"] == min(total.values())

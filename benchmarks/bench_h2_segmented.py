@@ -1,0 +1,85 @@
+"""Hypotheses 1 and 2 ablation: segmented sorting with and without
+offset-value codes.
+
+H1: segments below memory turn an external sort into internal sorts
+(shown by the cost model and the I/O bench); here we show the in-memory
+effect — per-segment sorts beat one big sort.  H2: codes help twice,
+(a) detecting segment boundaries without comparing the prefix columns
+and (b) entering each segment sort with codes that skip the prefix.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import format_table
+from repro.core.modify import modify_sort_order
+from repro.model import Schema, SortSpec
+from repro.ovc.stats import ComparisonStats
+from repro.workloads.generators import random_sorted_table
+
+SCHEMA = Schema.of("A0", "A1", "B")
+INPUT = SortSpec.of("A0", "A1")
+OUTPUT = SortSpec.of("A0", "A1", "B")  # Table 1 case 1
+
+
+@pytest.fixture(scope="module")
+def table(n_rows_small):
+    # Sorted on (A0, A1) only; B random within segments.
+    return random_sorted_table(
+        SCHEMA, INPUT, n_rows_small, domains=[32, 16, 1 << 20], seed=17
+    )
+
+
+def test_h2_codes_save_boundary_and_prefix_comparisons(table, n_rows_small):
+    with_codes = ComparisonStats()
+    r1 = modify_sort_order(
+        table, OUTPUT, method="segment_sort", use_ovc=True, stats=with_codes
+    )
+    without = ComparisonStats()
+    r2 = modify_sort_order(
+        table, OUTPUT, method="segment_sort", use_ovc=False, stats=without
+    )
+    assert r1.rows == r2.rows
+    assert r1.is_sorted()
+    print()
+    print(
+        format_table(
+            [
+                {"variant": "segmented + codes", **with_codes.as_dict()},
+                {"variant": "segmented, no codes", **without.as_dict()},
+            ],
+            f"H2: case 1 (A -> A,B), {n_rows_small:,} rows",
+        )
+    )
+    # Boundary detection alone costs the no-code variant ~2 column
+    # comparisons per row; the coded variant reads offsets instead.
+    assert with_codes.column_comparisons < without.column_comparisons
+
+
+def test_h1_segmented_beats_single_sort_on_comparisons(table):
+    segmented = ComparisonStats()
+    modify_sort_order(
+        table, OUTPUT, method="segment_sort", use_ovc=True, stats=segmented
+    )
+    monolithic = ComparisonStats()
+    modify_sort_order(
+        table, OUTPUT, method="full_sort", use_ovc=True, stats=monolithic
+    )
+    # s segments of n/s rows: sum n/s*log(n/s) < n*log(n).
+    assert segmented.row_comparisons < monolithic.row_comparisons
+
+
+@pytest.mark.parametrize(
+    "variant", ["codes", "no_codes"]
+)
+def test_h2_runtime(benchmark, table, variant):
+    benchmark.group = "h2: segmented sort, codes vs none"
+    result = benchmark(
+        modify_sort_order,
+        table,
+        OUTPUT,
+        "segment_sort",
+        variant == "codes",
+    )
+    assert len(result) == len(table)

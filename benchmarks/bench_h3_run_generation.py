@@ -1,0 +1,97 @@
+"""Hypotheses 3 and 4: external merge sort spends most of its row and
+column comparisons during run generation, so an input whose runs
+pre-exist (skipping run generation) saves many or most comparisons.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bench.harness import format_table
+from repro.ovc.stats import ComparisonStats
+from repro.sorting.external import ExternalMergeSort
+from repro.sorting.merge import kway_merge
+
+
+@pytest.fixture(scope="module")
+def sorted_result(n_rows_default):
+    rng = random.Random(11)
+    rows = [(rng.randrange(1 << 30), 0) for _ in range(n_rows_default)]
+    sorter = ExternalMergeSort((0, 1), memory_capacity=n_rows_default // 64, fan_in=128)
+    return rows, sorter.sort(rows)
+
+
+def test_h3_run_generation_dominates(sorted_result, n_rows_default):
+    rows, result = sorted_result
+    rg, mg = result.run_generation_stats, result.merge_stats
+    print()
+    print(
+        format_table(
+            [
+                {"phase": "run generation", **rg.as_dict()},
+                {"phase": "merge", **mg.as_dict()},
+            ],
+            f"H3: comparisons by phase, {n_rows_default:,} rows, "
+            f"{result.initial_runs} initial runs",
+        )
+    )
+    assert result.initial_runs > 16  # external regime: M >> W
+    assert rg.row_comparisons > mg.row_comparisons
+    assert rg.column_comparisons > mg.column_comparisons
+
+
+def test_h4_preexisting_runs_save_most_comparisons(sorted_result):
+    """Merging the same runs without regenerating them costs only the
+    merge phase — most comparisons disappear."""
+    rows, result = sorted_result
+    # Rebuild the initial runs cheaply by slicing the sorted output to
+    # the same run count (equal-size pre-existing runs).
+    n_runs = result.initial_runs
+    chunk = -(-len(rows) // n_runs)
+    sorted_rows = result.rows
+    from repro.ovc.derive import derive_ovcs
+
+    runs = []
+    for start in range(0, len(sorted_rows), chunk):
+        part = sorted_rows[start : start + chunk]
+        runs.append((part, derive_ovcs(part, (0, 1))))
+    merge_only = ComparisonStats()
+    out, _ovcs = kway_merge(runs, (0, 1), merge_only)
+    assert out == sorted_rows
+    total_full = result.total_stats
+    assert merge_only.row_comparisons < total_full.row_comparisons / 2
+    assert merge_only.column_comparisons < max(1, total_full.column_comparisons)
+
+
+def test_h3_benchmark_full_sort(benchmark, n_rows_small):
+    rng = random.Random(12)
+    rows = [(rng.randrange(1 << 30), 0) for _ in range(n_rows_small)]
+
+    def full():
+        sorter = ExternalMergeSort((0, 1), memory_capacity=n_rows_small // 32)
+        return sorter.sort(rows)
+
+    benchmark.group = "h3/h4: full external sort vs merge of pre-existing runs"
+    result = benchmark(full)
+    assert result.rows == sorted(rows)
+
+
+def test_h4_benchmark_merge_only(benchmark, n_rows_small):
+    rng = random.Random(12)
+    rows = sorted((rng.randrange(1 << 30), 0) for _ in range(n_rows_small))
+    from repro.ovc.derive import derive_ovcs
+
+    chunk = n_rows_small // 64
+    runs = [
+        (rows[i : i + chunk], derive_ovcs(rows[i : i + chunk], (0, 1)))
+        for i in range(0, len(rows), chunk)
+    ]
+
+    def merge_only():
+        return kway_merge(runs, (0, 1), ComparisonStats())
+
+    benchmark.group = "h3/h4: full external sort vs merge of pre-existing runs"
+    out, _ = benchmark(merge_only)
+    assert out == rows

@@ -1,0 +1,27 @@
+"""Shared configuration for the benchmark suite.
+
+Sizes default to 2^14 rows (the paper uses 2^20 on a C++ engine; pure
+Python pays the constant factor, the *shapes* survive).  Scale up with
+``REPRO_SCALE`` (exponent delta) to approach the paper's scale:
+``REPRO_SCALE=6 pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def scaled(base_exponent: int) -> int:
+    return 1 << (base_exponent + int(os.environ.get("REPRO_SCALE", "0")))
+
+
+@pytest.fixture(scope="session")
+def n_rows_default() -> int:
+    return scaled(14)
+
+
+@pytest.fixture(scope="session")
+def n_rows_small() -> int:
+    return scaled(12)

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Figure 4 live: merging pre-existing runs straight out of a b-tree.
+
+An index on (A, B) is scanned as ``n`` cursors — one per distinct A,
+located by MDAM-style skip scans — whose streams are already sorted on
+B.  Merging them yields the (B, A) order without ever sorting, and the
+prefix-truncated leaves supply offset-value codes for free.
+
+Run:  python examples/btree_order_modification.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.modify import modify_sort_order
+from repro.engine.scans import BTreeScan
+from repro.model import Schema, SortSpec, Table
+from repro.ovc.stats import ComparisonStats
+from repro.storage.btree import BTree
+
+
+def main() -> None:
+    rng = random.Random(17)
+    schema = Schema.of("A", "B")
+    spec = SortSpec.of("A", "B")
+
+    # Build the index incrementally, as a database would.
+    tree = BTree(schema, spec, order=64)
+    n_rows = 40_000
+    for _ in range(n_rows):
+        tree.insert((rng.randrange(40), rng.randrange(10_000)))
+    print(f"b-tree: {len(tree):,} rows, height {tree.height}")
+
+    # Distinct-prefix skip scan finds the pre-existing runs.
+    reads_before = tree.node_reads
+    prefixes = tree.distinct_prefixes(1)
+    print(
+        f"skip scan found {len(prefixes)} distinct A values "
+        f"({tree.node_reads - reads_before} node reads)"
+    )
+
+    # Figure 4's merge: per-run cursors out of the index.
+    cursors = tree.prefix_run_cursors(1)
+    print(f"opened {len(cursors)} run cursors (one per distinct A)")
+
+    # Scan the index (codes included) and modify the order to (B, A).
+    table = BTreeScan(tree).to_table()
+    stats = ComparisonStats()
+    result = modify_sort_order(table, SortSpec.of("B", "A"), stats=stats)
+    assert result.is_sorted()
+    print(
+        f"merged into (B, A) order: {stats.row_comparisons:,} row "
+        f"comparisons, {stats.column_comparisons:,} column comparisons"
+    )
+
+    # Contrast: the same result by sorting from scratch.
+    naive = ComparisonStats()
+    baseline = modify_sort_order(
+        table, SortSpec.of("B", "A"), method="full_sort", stats=naive
+    )
+    assert baseline.rows == result.rows
+    print(
+        f"full sort needs {naive.row_comparisons:,} row comparisons and "
+        f"{naive.column_comparisons:,} column comparisons"
+    )
+    print(
+        "\nthe index's sort order did half the work before the query ran —"
+        "\nand its cached codes did most of the rest."
+    )
+
+
+if __name__ == "__main__":
+    main()

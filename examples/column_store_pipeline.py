@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Hypothesis 6 end to end: a sorted RLE column store feeds order
+modification and compression without column comparisons.
+
+Pipeline:
+  1. build a column store (run-length encoded on the sort key);
+  2. transpose to rows + offset-value codes off the run boundaries;
+  3. modify the sort order A,B,C -> A,C,B reusing those codes;
+  4. re-compress the output into a new column store using the *output*
+     codes — again without comparisons.
+
+Run:  python examples/column_store_pipeline.py
+"""
+
+from __future__ import annotations
+
+from repro.core.modify import modify_sort_order
+from repro.engine.scans import ColumnStoreScan
+from repro.model import Schema, SortSpec
+from repro.ovc.stats import ComparisonStats
+from repro.storage.colstore import ColumnStore
+from repro.workloads.generators import random_sorted_table
+
+
+def main() -> None:
+    schema = Schema.of("A", "B", "C", "payload")
+    input_order = SortSpec.of("A", "B", "C")
+    table = random_sorted_table(
+        schema, input_order, 100_000, domains=[20, 30, 200, 1 << 30], seed=3
+    )
+
+    store = ColumnStore.from_table(table)
+    total_key_cells = 3 * len(table)
+    print(
+        f"column store: {len(store):,} rows; key values stored "
+        f"{store.stored_key_values():,} / {total_key_cells:,} "
+        f"({store.stored_key_values() / total_key_cells:.1%})"
+    )
+
+    # Transpose: rows + codes from RLE boundaries, zero comparisons.
+    scan = ColumnStoreScan(store)
+    scanned = scan.to_table()
+    assert scan.stats.column_comparisons == 0
+    print("transposition to coded rows: 0 column comparisons")
+
+    # Segment boundaries for free as well.
+    segments = store.segment_boundaries(1)
+    print(f"segments (distinct A) straight from run lengths: {len(segments)}")
+
+    # Modify the sort order using the scanned codes.
+    stats = ComparisonStats()
+    result = modify_sort_order(scanned, SortSpec.of("A", "C", "B"), stats=stats)
+    assert result.is_sorted()
+    print(
+        f"A,B,C -> A,C,B: {stats.row_comparisons:,} row comparisons, "
+        f"{stats.column_comparisons:,} column comparisons"
+    )
+
+    # Re-compress the output with its fresh codes.
+    recompressed = ColumnStore.from_table(result)
+    total_out_cells = 3 * len(result)
+    print(
+        f"output column store: key values stored "
+        f"{recompressed.stored_key_values():,} / {total_out_cells:,} "
+        f"({recompressed.stored_key_values() / total_out_cells:.1%}) — "
+        f"compression came from the output codes, not comparisons"
+    )
+
+
+if __name__ == "__main__":
+    main()

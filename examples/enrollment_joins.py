@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""The paper's motivating scenario: students, courses, enrollments.
+
+A many-to-many relationship traditionally needs *two* sorted copies of
+the enrollment table — one on (course, student) for class rosters, one
+on (student, course) for transcripts.  With sort-order modification a
+single index serves both:
+
+* rosters merge-join courses with the index as stored;
+* transcripts merge-join students with the *same* index, re-ordered on
+  the fly by merging its pre-existing runs (Table 1 case 3/5/7).
+
+The example also runs the introduction's three-table join, re-sorting
+the first join's output to feed the second join.
+
+Run:  python examples/enrollment_joins.py
+"""
+
+from __future__ import annotations
+
+from repro.core.analysis import analyze_order_modification
+from repro.engine.aggregate import GroupBy
+from repro.engine.merge_join import MergeJoin
+from repro.engine.scans import TableScan
+from repro.engine.sort_op import Sort
+from repro.model import SortSpec
+from repro.ovc.stats import ComparisonStats
+from repro.workloads.enrollment import make_enrollment_workload
+
+
+def main() -> None:
+    w = make_enrollment_workload(
+        n_students=400,
+        n_courses=60,
+        n_enrollments=8000,
+        n_campuses=3,
+        seed=7,
+    )
+    print(
+        f"{len(w.students)} students, {len(w.courses)} courses, "
+        f"{len(w.enrollments)} enrollments on {w.n_campuses} campuses"
+    )
+    print(f"stored index order: {w.enrollments.sort_spec}")
+    plan = analyze_order_modification(w.enrollments.sort_spec, w.transcript_order)
+    print(f"transcript order via: {plan.describe()}")
+    print()
+
+    # ------------------------------------------------------- rosters
+    rosters = MergeJoin(
+        TableScan(w.courses),
+        TableScan(w.enrollments),
+        ["campus", "course"],
+        ["campus", "course"],
+    )
+    roster_sizes = GroupBy(rosters, ["campus", "course"], [("count", None)])
+    biggest = max(roster_sizes.rows(), key=lambda r: r[-1])
+    print(
+        f"rosters: {len(w.courses)} courses served directly from the index; "
+        f"largest class: campus {biggest[0]} course {biggest[1]} "
+        f"with {biggest[2]} students"
+    )
+
+    # --------------------------------------------------- transcripts
+    stats = ComparisonStats()
+    reordered = Sort(TableScan(w.enrollments), w.transcript_order, method="auto")
+    reordered.stats = stats
+    transcripts = MergeJoin(
+        TableScan(w.students),
+        reordered,
+        ["campus", "student"],
+        ["campus", "student"],
+    )
+    per_student = GroupBy(
+        transcripts,
+        ["campus", "student"],
+        [("count", None), ("avg", "grade_x10")],
+    )
+    rows = per_student.rows()
+    print(
+        f"transcripts: {len(rows)} students with enrollments, via the SAME "
+        f"index re-ordered with {stats.column_comparisons:,} column "
+        f"comparisons ({reordered.executed})"
+    )
+    print()
+
+    # ------------------------------------------- three-table join
+    # courses JOIN enrollments (sorted on campus, course), then its
+    # result re-sorted on (campus, student) to join students.
+    first = MergeJoin(
+        TableScan(w.courses),
+        TableScan(w.enrollments),
+        ["campus", "course"],
+        ["campus", "course"],
+    ).to_table()
+    resorted = Sort(
+        TableScan(first.with_ovcs()), SortSpec.of("campus", "student")
+    )
+    second = MergeJoin(
+        TableScan(w.students),
+        resorted,
+        ["campus", "student"],
+        ["campus", "student"],
+    )
+    n = len(second.rows())
+    print(
+        f"three-table join (students x enrollments x courses): {n} rows, "
+        f"intermediate re-sorted via {resorted.executed}"
+    )
+    print()
+    print("physical design win: ONE stored copy of the enrollment table")
+    print("serves both access paths — no second index to build or maintain.")
+
+
+if __name__ == "__main__":
+    main()

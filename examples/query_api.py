@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Tour of the fluent Query API over the OVC-aware engine.
+
+Builds an order-items table stored sorted on (customer, order_id) and
+answers several questions, letting the engine exploit the stored order
+— including a pivot and a sort-order modification behind `order_by`.
+
+Run:  python examples/query_api.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.model import Schema, SortSpec, Table
+from repro.query import Query
+
+PRODUCTS = ["apples", "bread", "coffee", "dates", "eggs"]
+QUARTERS = [1, 2, 3, 4]
+
+
+def build_orders(n: int = 12_000, seed: int = 5) -> Table:
+    rng = random.Random(seed)
+    schema = Schema.of("customer", "order_id", "quarter", "product", "amount")
+    rows = sorted(
+        (
+            rng.randrange(3000),
+            rng.randrange(10_000),
+            rng.choice(QUARTERS),
+            rng.randrange(len(PRODUCTS)),
+            rng.randrange(1, 200),
+        )
+        for _ in range(n)
+    )
+    table = Table(schema, rows, SortSpec.of("customer", "order_id"))
+    return table.with_ovcs()
+
+
+def main() -> None:
+    orders = build_orders()
+    print(f"{len(orders):,} order items, stored on (customer, order_id)\n")
+
+    # 1. Top spenders: group by customer (stored order!), then top-5.
+    top = (
+        Query(orders)
+        .group_by(["customer"], [("sum", "amount"), ("count", None)])
+        .top(5, "sum_amount DESC")
+        .rows()
+    )
+    print("top 5 customers by spend:")
+    for customer, spend, items in top:
+        print(f"  customer {customer:>3}: {spend:>6} across {items} items")
+
+    # 2. Quarterly pivot per product (needs a re-sort; the engine plans it).
+    pivot = (
+        Query(orders)
+        .pivot(["product"], "quarter", "amount", QUARTERS, agg="sum")
+        .rows()
+    )
+    print("\nspend per product and quarter:")
+    header = ["product"] + [f"Q{q}" for q in QUARTERS]
+    print("  " + "  ".join(f"{h:>8}" for h in header))
+    for row in pivot:
+        name = PRODUCTS[row[0]]
+        print("  " + "  ".join(f"{str(c):>8}" for c in (name, *row[1:])))
+
+    # 3. Customers who bought coffee but never dates (set ops).
+    coffee = (
+        Query(orders).where("product", PRODUCTS.index("coffee"))
+        .select("customer").distinct(["customer"])
+    )
+    dates = (
+        Query(orders).where("product", PRODUCTS.index("dates"))
+        .select("customer").distinct(["customer"])
+    )
+    exclusive = coffee.except_(dates).rows()
+    print(f"\ncustomers with coffee but never dates: {len(exclusive)}")
+
+    # 4. Plan inspection: order_by through a *related* order plans a
+    # modification, not a sort-from-scratch.
+    q = Query(orders).order_by("customer", "quarter", "order_id")
+    q.rows()
+    print("\nplan for ORDER BY customer, quarter, order_id:")
+    print(q.explain())
+
+
+if __name__ == "__main__":
+    main()

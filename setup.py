@@ -1,0 +1,6 @@
+"""Shim for environments without the `wheel` package (offline installs):
+`pip install -e . --no-build-isolation --no-use-pep517` falls back to
+`setup.py develop`, which needs this file."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,47 @@
+"""repro — reproduction of *Modifying an existing sort order with
+offset-value codes* (Graefe, Kuhrt, Seeger; EDBT 2025).
+
+Quick start::
+
+    from repro import Schema, SortSpec, Table, modify_sort_order
+    from repro.workloads import random_sorted_table
+
+    table = random_sorted_table(schema=Schema.of("A", "B", "C"),
+                                sort_spec=SortSpec.of("A", "B", "C"),
+                                n_rows=10_000, seed=42)
+    result = modify_sort_order(table, SortSpec.of("A", "C", "B"))
+    assert result.is_sorted()
+
+The top-level namespace re-exports the model types, the order
+modification entry point, and the statistics container; subsystems live
+in :mod:`repro.ovc`, :mod:`repro.sorting`, :mod:`repro.core`,
+:mod:`repro.storage`, :mod:`repro.engine`, :mod:`repro.optimizer`,
+:mod:`repro.workloads`, and :mod:`repro.bench`.
+"""
+
+from .model import Desc, Schema, SortColumn, SortSpec, Table
+from .ovc.stats import ComparisonStats
+from .core.analysis import ModificationPlan, Strategy, analyze_order_modification
+from .core.modify import modify_sort_order
+from .core.external_modify import modify_sort_order_external
+from .query import Query
+from .trace import explain_analyze
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Desc",
+    "Schema",
+    "SortColumn",
+    "SortSpec",
+    "Table",
+    "ComparisonStats",
+    "ModificationPlan",
+    "Strategy",
+    "analyze_order_modification",
+    "modify_sort_order",
+    "modify_sort_order_external",
+    "Query",
+    "explain_analyze",
+    "__version__",
+]

@@ -1,0 +1,181 @@
+"""Command-line experiment runner: ``python -m repro <experiment>``.
+
+Regenerates the paper's measured artifacts as text tables:
+
+* ``fig10`` — run time + column comparisons, A,B -> B,A (hypothesis 5);
+* ``fig11`` — three methods across segment counts (hypothesis 9);
+* ``table1`` — the eight prototype cases, auto strategy vs full sort;
+* ``design`` — physical design + join planning with/without modification
+  (hypothesis 10);
+* ``all`` — everything above.
+
+Options: ``--rows 2**N`` via ``--log2-rows N`` (default 14), ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .bench.figures import (
+    FIG10_LIST_LENGTHS,
+    run_fig10_experiment,
+    run_fig11_experiment,
+)
+from .bench.harness import format_table
+from .core.modify import modify_sort_order
+from .model import SortSpec
+from .ovc.stats import ComparisonStats
+from .workloads.generators import random_sorted_table
+from .model import Schema
+
+
+def _fig10(n_rows: int, seed: int) -> None:
+    results = run_fig10_experiment(n_rows, FIG10_LIST_LENGTHS, seed=seed)
+    print(
+        format_table(
+            [r.as_row() for r in results],
+            f"Figure 10: A,B -> B,A with {n_rows:,} rows "
+            "(run time and comparison counts)",
+        )
+    )
+
+
+def _fig11(n_rows: int, seed: int) -> None:
+    results = run_fig11_experiment(n_rows, seed=seed)
+    print(
+        format_table(
+            [r.as_row() for r in results],
+            f"Figure 11: A,B,C -> A,C,B with {n_rows:,} rows, "
+            "three methods across segment counts",
+        )
+    )
+
+
+_TABLE1 = {
+    0: (("A", "B"), ("A",)),
+    1: (("A",), ("A", "B")),
+    2: (("A", "B"), ("B",)),
+    3: (("A", "B"), ("B", "A")),
+    4: (("A", "B", "C"), ("A", "C")),
+    5: (("A", "B", "C"), ("A", "C", "B")),
+    6: (("A", "B", "C", "D"), ("A", "C", "D")),
+    7: (("A", "B", "C", "D"), ("A", "C", "B", "D")),
+}
+
+
+def _table1(n_rows: int, seed: int) -> None:
+    schema = Schema.of("A", "B", "C", "D")
+    domains = {"A": 32, "B": 64, "C": 256, "D": 8}
+    rows_out = []
+    for case, (inp, out) in _TABLE1.items():
+        table = random_sorted_table(
+            schema,
+            SortSpec(inp),
+            n_rows,
+            domains=[domains[c] for c in schema.columns],
+            seed=seed,
+        )
+        cells = {"case": case, "from": ",".join(inp), "to": ",".join(out)}
+        for method in ("auto", "full_sort"):
+            stats = ComparisonStats()
+            start = time.perf_counter()
+            modify_sort_order(table, SortSpec(out), method=method, stats=stats)
+            cells[f"{method}_s"] = round(time.perf_counter() - start, 4)
+            cells[f"{method}_colcmp"] = stats.column_comparisons
+        rows_out.append(cells)
+    print(
+        format_table(
+            rows_out,
+            f"Table 1 cases: exploiting the existing order vs full sort "
+            f"({n_rows:,} rows)",
+        )
+    )
+
+
+def _design(n_rows: int) -> None:
+    from .optimizer.join_planning import JoinEdge, Relation, plan_joins
+    from .optimizer.physical_design import design_indexes
+
+    roster = SortSpec.of("course", "student")
+    transcript = SortSpec.of("student", "course")
+    rows_out = []
+    for label, allowed in (("traditional", False), ("with modification", True)):
+        result = design_indexes(
+            [roster, transcript], n_rows=n_rows, modification_allowed=allowed
+        )
+        rows_out.append(
+            {
+                "design": label,
+                "indexes": len(result.chosen),
+                "index_cost": round(result.index_cost),
+                "query_cost": round(result.total_query_cost),
+            }
+        )
+    print(
+        format_table(
+            rows_out,
+            f"Physical design for the enrollment workload ({n_rows:,} rows)",
+        )
+    )
+    print()
+
+    relations = [
+        Relation(
+            "students", max(n_rows // 20, 4), (SortSpec.of("s.student"),),
+            unique_keys=(frozenset({"s.student"}),),
+        ),
+        Relation(
+            "courses", max(n_rows // 400, 2), (SortSpec.of("c.course"),),
+            unique_keys=(frozenset({"c.course"}),),
+        ),
+        Relation("enrollments", n_rows, (SortSpec.of("e.course", "e.student"),)),
+    ]
+    edges = [
+        JoinEdge("students", "enrollments", ("s.student",), ("e.student",),
+                 selectivity=20 / n_rows),
+        JoinEdge("courses", "enrollments", ("c.course",), ("e.course",),
+                 selectivity=400 / n_rows),
+    ]
+    rows_out = []
+    for label, allowed in (("sorted-or-sort", False), ("with modification", True)):
+        plan = plan_joins(relations, edges, modification_allowed=allowed)
+        rows_out.append({"planner": label, "plan_cost": round(plan.cost)})
+    print(
+        format_table(
+            rows_out,
+            "Three-table join planning (students x enrollments x courses)",
+        )
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "experiment", choices=["fig10", "fig11", "table1", "design", "all"]
+    )
+    parser.add_argument("--log2-rows", type=int, default=14)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    n_rows = 1 << args.log2_rows
+
+    if args.experiment in ("fig10", "all"):
+        _fig10(n_rows, args.seed)
+        print()
+    if args.experiment in ("fig11", "all"):
+        _fig11(n_rows, args.seed)
+        print()
+    if args.experiment in ("table1", "all"):
+        _table1(n_rows, args.seed)
+        print()
+    if args.experiment in ("design", "all"):
+        _design(n_rows)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Aggregate-function primitives shared by the engine and the sorter.
+
+Each function is a triple of init/step/finish over a small mutable
+state slot, plus (where meaningful) a merge of two finished scalars for
+in-sort early aggregation.  Kept dependency-free so both
+:mod:`repro.engine.aggregate` and :mod:`repro.sorting.insort` can use
+them without import cycles.
+"""
+
+from __future__ import annotations
+
+
+def _avg_finish(slot):
+    return slot[0] / slot[1] if slot[1] else None
+
+
+AGG_INIT = {
+    "count": lambda: [0],
+    "sum": lambda: [0],
+    "min": lambda: [None],
+    "max": lambda: [None],
+    "avg": lambda: [0, 0],
+    "first": lambda: [None, False],
+    "last": lambda: [None],
+}
+
+AGG_STEP = {
+    "count": lambda s, v: s.__setitem__(0, s[0] + 1),
+    "sum": lambda s, v: s.__setitem__(0, s[0] + v),
+    "min": lambda s, v: s.__setitem__(0, v if s[0] is None or v < s[0] else s[0]),
+    "max": lambda s, v: s.__setitem__(0, v if s[0] is None or v > s[0] else s[0]),
+    "avg": lambda s, v: (s.__setitem__(0, s[0] + v), s.__setitem__(1, s[1] + 1)),
+    "first": lambda s, v: None
+    if s[1]
+    else (s.__setitem__(0, v), s.__setitem__(1, True)),
+    "last": lambda s, v: s.__setitem__(0, v),
+}
+
+AGG_FINISH = {
+    "count": lambda s: s[0],
+    "sum": lambda s: s[0],
+    "min": lambda s: s[0],
+    "max": lambda s: s[0],
+    "avg": _avg_finish,
+    "first": lambda s: s[0],
+    "last": lambda s: s[0],
+}
+
+#: Combining two *finished* scalars — only for states that fold
+#: losslessly (``avg`` does not; compose it from sum and count).
+AGG_MERGE = {
+    "count": lambda a, b: a + b,
+    "sum": lambda a, b: a + b,
+    "min": lambda a, b: a if a <= b else b,
+    "max": lambda a, b: a if a >= b else b,
+    "first": lambda a, b: a,
+    "last": lambda a, b: b,
+}

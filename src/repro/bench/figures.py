@@ -1,0 +1,122 @@
+"""Experiment drivers for Figures 10 and 11.
+
+Each driver regenerates one cell (one bar) or the full series of a
+figure and returns :class:`~repro.bench.harness.BenchResult` objects,
+so the pytest benchmarks, the examples, and EXPERIMENTS.md all report
+identical numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.modify import modify_sort_order
+from ..model import Table
+from ..ovc.stats import ComparisonStats
+from ..workloads.generators import (
+    fig10_output_spec,
+    fig10_table,
+    fig11_output_spec,
+    fig11_table,
+)
+from .harness import BenchResult, time_callable
+
+FIG10_LIST_LENGTHS = (1, 2, 4, 8, 16)
+FIG11_SEGMENT_COUNTS = tuple(4 ** k * 2 for k in range(0, 10))  # 2 .. 2^19
+
+
+def run_fig10_cell(
+    table: Table,
+    list_len: int,
+    use_ovc: bool,
+    stats: ComparisonStats | None = None,
+) -> Table:
+    """One Figure 10 bar: modify ``A,B -> B,A`` with/without codes.
+
+    This is Table 1 case 3: merging the pre-existing runs defined by
+    distinct values of ``A``.
+    """
+    return modify_sort_order(
+        table,
+        fig10_output_spec(list_len),
+        method="merge_runs",
+        use_ovc=use_ovc,
+        stats=stats if stats is not None else ComparisonStats(),
+    )
+
+
+def run_fig10_experiment(
+    n_rows: int,
+    list_lengths: Sequence[int] = FIG10_LIST_LENGTHS,
+    n_runs: int = 512,
+    seed: int = 0,
+) -> list[BenchResult]:
+    """The full Figure 10 grid: {first,last} x {with,without codes} x
+    list lengths; returns one result per cell."""
+    results: list[BenchResult] = []
+    for decide in ("first", "last"):
+        for list_len in list_lengths:
+            table = fig10_table(
+                n_rows, list_len, decide=decide, n_runs=min(n_runs, n_rows), seed=seed
+            )
+            for use_ovc in (False, True):
+                label = (
+                    f"fig10 {decide}-decides len={list_len} "
+                    f"{'ovc' if use_ovc else 'no-ovc'}"
+                )
+
+                def cell(stats, table=table, list_len=list_len, use_ovc=use_ovc):
+                    run_fig10_cell(table, list_len, use_ovc, stats)
+                    return {
+                        "decide": decide,
+                        "list_len": list_len,
+                        "ovc": use_ovc,
+                    }
+
+                results.append(time_callable(label, cell))
+    return results
+
+
+FIG11_METHODS = ("segment_sort", "merge_runs", "combined")
+
+
+def run_fig11_cell(
+    table: Table,
+    method: str,
+    stats: ComparisonStats | None = None,
+    list_len: int = 8,
+) -> Table:
+    """One Figure 11 bar: ``A,B,C -> A,C,B`` with one of the three
+    methods, all using the input's offset-value codes."""
+    return modify_sort_order(
+        table,
+        fig11_output_spec(list_len),
+        method=method,
+        use_ovc=True,
+        stats=stats if stats is not None else ComparisonStats(),
+    )
+
+
+def run_fig11_experiment(
+    n_rows: int,
+    segment_counts: Sequence[int] | None = None,
+    methods: Sequence[str] = FIG11_METHODS,
+    list_len: int = 8,
+    seed: int = 0,
+) -> list[BenchResult]:
+    """The full Figure 11 sweep over segment counts and methods."""
+    if segment_counts is None:
+        segment_counts = [s for s in FIG11_SEGMENT_COUNTS if s * 2 <= n_rows]
+    results: list[BenchResult] = []
+    for n_segments in segment_counts:
+        table = fig11_table(n_rows, n_segments, list_len=list_len, seed=seed)
+        for method in methods:
+
+            def cell(stats, table=table, method=method):
+                run_fig11_cell(table, method, stats, list_len)
+                return {"segments": n_segments, "method": method}
+
+            results.append(
+                time_callable(f"fig11 s={n_segments} {method}", cell)
+            )
+    return results

@@ -1,0 +1,63 @@
+"""Row classification from old offset-value codes (Figure 6).
+
+Within one segment, the paper classifies each input row purely by its
+old code's offset — no column value is ever inspected:
+
+* ``offset < |P|`` — **first row in segment** (only the segment's
+  first row qualifies);
+* ``|P| <= offset < |P|+|X|`` — **first row in run** (a new distinct
+  infix value starts a pre-existing run);
+* ``|P|+|X| <= offset < |P|+|X|+|M|`` — **other row**: already in
+  merge order behind its run predecessor;
+* ``offset >= |P|+|X|+|M|`` — **duplicate/tail row**: equal to its
+  predecessor through the merge keys; it bypasses the merge logic and
+  immediately follows its predecessor into the output.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator, Sequence
+
+
+class RowClass(enum.Enum):
+    SEGMENT_HEAD = "first row in segment"
+    RUN_HEAD = "first row in run"
+    MERGE_ROW = "other row"
+    DUPLICATE = "duplicate row"
+
+
+def classify_row(
+    offset: int, prefix_len: int, infix_len: int, merge_len: int
+) -> RowClass:
+    """Classify one row by its old code offset (segment-relative)."""
+    if offset < prefix_len:
+        return RowClass.SEGMENT_HEAD
+    if offset < prefix_len + infix_len:
+        return RowClass.RUN_HEAD
+    if offset < prefix_len + infix_len + merge_len:
+        return RowClass.MERGE_ROW
+    return RowClass.DUPLICATE
+
+
+def split_segments(
+    ovcs: Sequence[tuple], prefix_len: int, n_rows: int | None = None
+) -> Iterator[tuple[int, int]]:
+    """Yield ``[start, end)`` row ranges of segments, from codes alone.
+
+    A segment starts wherever the old code's offset drops below the
+    shared prefix length.  With ``prefix_len == 0`` the whole input is
+    one segment.
+    """
+    n = len(ovcs) if n_rows is None else n_rows
+    if n == 0:
+        return
+    if prefix_len == 0:
+        yield (0, n)
+        return
+    start = 0
+    for i in range(1, n):
+        if ovcs[i][0] < prefix_len:
+            yield (start, i)
+            start = i
+    yield (start, n)

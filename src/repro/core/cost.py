@@ -1,0 +1,140 @@
+"""Cost model for choosing an order-modification method (Section 3.5).
+
+The compile-time decision "exploit the pre-existing sort order or just
+sort?" is cost-based, driven by segment and run counts (counts of
+distinct prefix/infix values).  Comparison counts follow the classic
+tournament-tree bound — about ``n * log2(k)`` comparisons to merge
+``n`` rows from ``k`` inputs, and ``n * log2(n/e)`` to sort ``n`` rows
+outright — plus I/O terms when the data exceeds sort memory.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .analysis import ModificationPlan, Strategy
+
+
+def _nlogk(n: float, k: float) -> float:
+    if n <= 0 or k <= 1:
+        return 0.0
+    return n * math.log2(k)
+
+
+def sort_comparisons(n: float) -> float:
+    """Lower-bound-ish comparisons for sorting n rows from scratch."""
+    if n <= 1:
+        return 0.0
+    return n * math.log2(n / math.e)
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    strategy: Strategy
+    row_comparisons: float
+    io_pages: float
+
+    @property
+    def total(self) -> float:
+        # A page transfer is charged like a few hundred comparisons —
+        # crude, but only relative order matters for the decision.
+        return self.row_comparisons + 256.0 * self.io_pages
+
+
+@dataclass
+class CostModel:
+    """Estimates for the four executable strategies.
+
+    Parameters are data statistics the optimizer would know from
+    catalog information: row count, distinct prefix values (segments)
+    and distinct prefix+infix values (runs), plus the sort memory and
+    merge fan-in of the execution engine.
+    """
+
+    n_rows: int
+    n_segments: int
+    n_runs: int
+    memory_capacity: int = 1 << 20
+    fan_in: int = 128
+    page_rows: int = 256
+
+    def _external_io(self, rows_to_sort: float, runs: float) -> float:
+        """Pages written+read across merge levels for an external sort."""
+        if rows_to_sort <= self.memory_capacity or runs <= 1:
+            return 0.0
+        levels = math.ceil(math.log(max(runs, 2), self.fan_in))
+        return 2.0 * levels * rows_to_sort / self.page_rows
+
+    def full_sort(self) -> CostEstimate:
+        n = self.n_rows
+        comparisons = sort_comparisons(n)
+        initial_runs = max(1.0, n / max(self.memory_capacity, 1))
+        io = self._external_io(n, initial_runs)
+        if initial_runs > 1:
+            comparisons += _nlogk(n, initial_runs)
+        return CostEstimate(Strategy.FULL_SORT, comparisons, io)
+
+    def segment_sort(self) -> CostEstimate:
+        n, s = self.n_rows, max(self.n_segments, 1)
+        per_segment = n / s
+        comparisons = s * sort_comparisons(per_segment)
+        io = s * self._external_io(per_segment, per_segment / max(self.memory_capacity, 1))
+        return CostEstimate(Strategy.SEGMENT_SORT, comparisons, io)
+
+    def merge_runs(self) -> CostEstimate:
+        n, r = self.n_rows, max(self.n_runs, 1)
+        comparisons = _nlogk(n, r)
+        # Graceful degradation: extra merge levels beyond the fan-in.
+        if r > self.fan_in:
+            levels = math.ceil(math.log(r, self.fan_in))
+            comparisons = levels * _nlogk(n, self.fan_in)
+        return CostEstimate(Strategy.MERGE_RUNS, comparisons, 0.0)
+
+    def combined(self) -> CostEstimate:
+        n = self.n_rows
+        s = max(self.n_segments, 1)
+        runs_per_segment = max(self.n_runs / s, 1.0)
+        per_segment = n / s
+        comparisons = s * _nlogk(per_segment, runs_per_segment)
+        if runs_per_segment > self.fan_in:
+            levels = math.ceil(math.log(runs_per_segment, self.fan_in))
+            comparisons = s * levels * _nlogk(per_segment, self.fan_in)
+        return CostEstimate(Strategy.COMBINED, comparisons, 0.0)
+
+    def estimate(self, strategy: Strategy) -> CostEstimate:
+        if strategy is Strategy.FULL_SORT:
+            return self.full_sort()
+        if strategy is Strategy.SEGMENT_SORT:
+            return self.segment_sort()
+        if strategy is Strategy.MERGE_RUNS:
+            return self.merge_runs()
+        if strategy is Strategy.COMBINED:
+            return self.combined()
+        return CostEstimate(Strategy.NOOP, 0.0, 0.0)
+
+
+def estimate_costs(
+    plan: ModificationPlan,
+    n_rows: int,
+    n_segments: int,
+    n_runs: int,
+    memory_capacity: int = 1 << 20,
+    fan_in: int = 128,
+) -> list[CostEstimate]:
+    """All strategies applicable to ``plan``, cheapest first.
+
+    The structural strategies are only offered when the plan's
+    decomposition supports them; a full sort is always possible.
+    """
+    model = CostModel(n_rows, n_segments, n_runs, memory_capacity, fan_in)
+    candidates = [model.full_sort()]
+    if plan.strategy is Strategy.NOOP:
+        return [CostEstimate(Strategy.NOOP, 0.0, 0.0)]
+    if plan.prefix_len > 0:
+        candidates.append(model.segment_sort())
+    if plan.merge_len > 0:
+        candidates.append(model.merge_runs())
+        if plan.prefix_len > 0:
+            candidates.append(model.combined())
+    return sorted(candidates, key=lambda c: c.total)

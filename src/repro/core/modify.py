@@ -1,0 +1,231 @@
+"""Public entry point: modify a table's sort order.
+
+:func:`modify_sort_order` analyzes the existing vs. desired sort
+orders, picks (or is told) a strategy, and executes it:
+
+* ``noop`` — the existing order satisfies the request; codes are
+  projected onto the (possibly shorter) new key without comparisons.
+* ``segment_sort`` — segmented sorting (Figure 11 method 1).
+* ``merge_runs`` — merge pre-existing runs over the whole input,
+  ignoring any shared prefix (Figure 11 method 2).
+* ``combined`` — segments from the prefix, pre-existing runs merged
+  within each segment (Figure 11 method 3).
+* ``full_sort`` — tournament sort from scratch, the honest fallback.
+* ``auto`` — compile-time analysis plus the cost model decide.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..model import SortSpec, Table
+from ..ovc.derive import project_ovcs
+from ..ovc.stats import ComparisonStats
+from ..sorting.merge import _key_projector
+from .analysis import ModificationPlan, Strategy, analyze_order_modification
+from .classify import split_segments
+from .cost import estimate_costs
+from .merge_runs import merge_preexisting_runs
+from .segmented import sort_segment
+
+_METHODS = {
+    "auto",
+    "noop",
+    "segment_sort",
+    "merge_runs",
+    "combined",
+    "full_sort",
+}
+
+
+def modify_sort_order(
+    table: Table,
+    new_order: SortSpec | Sequence[str],
+    method: str = "auto",
+    use_ovc: bool = True,
+    stats: ComparisonStats | None = None,
+    max_fan_in: int | None = None,
+) -> Table:
+    """Return ``table``'s rows sorted on ``new_order``.
+
+    The input table must be sorted (per its ``sort_spec``); with
+    ``use_ovc`` it must carry offset-value codes (derived on demand via
+    :meth:`Table.with_ovcs`).  The result carries fresh codes for the
+    new order when ``use_ovc`` is set.
+
+    ``method`` forces a strategy; ``auto`` uses the compile-time
+    analysis and, where the decomposition leaves a choice, the cost
+    model.  Stable strategies preserve the input order among rows equal
+    under the new key.  ``max_fan_in`` caps the runs merged per step
+    (graceful degradation to multi-step merges beyond it).
+    """
+    if method not in _METHODS:
+        raise ValueError(f"unknown method {method!r}; choose from {sorted(_METHODS)}")
+    if table.sort_spec is None:
+        raise ValueError("input table must declare its sort order")
+    new_spec = new_order if isinstance(new_order, SortSpec) else SortSpec(new_order)
+    plan = analyze_order_modification(table.sort_spec, new_spec)
+    stats = stats if stats is not None else ComparisonStats()
+
+    if plan.backward:
+        # Read the input back to front (comparison-free, codes kept)
+        # and re-plan against the reversed order.
+        from .backward import reverse_table, reversed_spec
+
+        if use_ovc:
+            table = reverse_table(table.with_ovcs(), stats)
+        else:
+            table = Table(
+                table.schema,
+                list(reversed(table.rows)),
+                reversed_spec(table.sort_spec),
+            )
+        plan = analyze_order_modification(
+            table.sort_spec, new_spec, allow_backward=False
+        )
+
+    if use_ovc:
+        table.with_ovcs()
+
+    strategy = _resolve_strategy(plan, method, table, stats)
+
+    rows, ovcs = table.rows, table.ovcs
+    n = len(rows)
+    out_positions = new_spec.positions(table.schema)
+    out_project = _key_projector(out_positions, new_spec.directions)
+    in_positions = table.sort_spec.positions(table.schema)
+    in_project = _key_projector(in_positions, table.sort_spec.directions)
+
+    out_rows: list[tuple] = []
+    out_ovcs: list[tuple] | None = [] if use_ovc else None
+
+    if strategy is Strategy.NOOP:
+        out_rows = list(rows)
+        if use_ovc:
+            out_ovcs = project_ovcs(ovcs, new_spec.arity)
+        return Table(table.schema, out_rows, new_spec, out_ovcs)
+
+    if strategy is Strategy.FULL_SORT:
+        for lo, hi in ((0, n),) if n else ():
+            sort_segment(
+                rows, ovcs, lo, hi, 0, new_spec.arity, out_project,
+                stats, out_rows, out_ovcs, use_ovc,
+            )
+        return Table(table.schema, out_rows, new_spec, out_ovcs)
+
+    if strategy is Strategy.SEGMENT_SORT:
+        boundaries = _segments(table, plan, use_ovc, in_project, stats)
+        for lo, hi in boundaries:
+            sort_segment(
+                rows, ovcs, lo, hi, plan.prefix_len, new_spec.arity,
+                out_project, stats, out_rows, out_ovcs, use_ovc,
+            )
+        return Table(table.schema, out_rows, new_spec, out_ovcs)
+
+    if strategy is Strategy.MERGE_RUNS:
+        # One pass over the whole input; prefix columns (if any) join
+        # the infix in defining runs.
+        if n:
+            merge_preexisting_runs(
+                rows, ovcs, 0, n, plan, out_project, in_project,
+                stats, out_rows, out_ovcs, use_ovc, respect_prefix=False,
+                max_fan_in=max_fan_in,
+            )
+        return Table(table.schema, out_rows, new_spec, out_ovcs)
+
+    # COMBINED: segments from the prefix, merge runs within each.
+    boundaries = _segments(table, plan, use_ovc, in_project, stats)
+    for lo, hi in boundaries:
+        merge_preexisting_runs(
+            rows, ovcs, lo, hi, plan, out_project, in_project,
+            stats, out_rows, out_ovcs, use_ovc, respect_prefix=True,
+            max_fan_in=max_fan_in,
+        )
+    return Table(table.schema, out_rows, new_spec, out_ovcs)
+
+
+def _resolve_strategy(
+    plan: ModificationPlan, method: str, table: Table, stats: ComparisonStats
+) -> Strategy:
+    if method == "noop":
+        if plan.strategy is not Strategy.NOOP:
+            raise ValueError(
+                "noop requested but the existing order does not satisfy "
+                f"the desired order ({plan.describe()})"
+            )
+        return Strategy.NOOP
+    if method == "full_sort":
+        return Strategy.FULL_SORT
+    if method == "segment_sort":
+        if plan.prefix_len == 0 and plan.strategy is not Strategy.NOOP:
+            raise ValueError("segment_sort requires a shared key prefix")
+        return Strategy.SEGMENT_SORT
+    if method == "merge_runs":
+        if plan.merge_len == 0:
+            raise ValueError(
+                "merge_runs requires pre-existing runs "
+                f"(plan: {plan.describe()})"
+            )
+        return Strategy.MERGE_RUNS
+    if method == "combined":
+        if plan.merge_len == 0 or plan.prefix_len == 0:
+            raise ValueError(
+                "combined requires both a shared prefix and merge keys "
+                f"(plan: {plan.describe()})"
+            )
+        return Strategy.COMBINED
+    # auto: trust the structural analysis; consult the cost model when
+    # several structural strategies apply.
+    if plan.strategy in (Strategy.NOOP, Strategy.FULL_SORT):
+        return plan.strategy
+    if plan.strategy is Strategy.SEGMENT_SORT:
+        return plan.strategy
+    if plan.strategy is Strategy.MERGE_RUNS:
+        return plan.strategy
+    # COMBINED decompositions admit all four methods; estimate quickly.
+    n = len(table)
+    if n == 0:
+        return plan.strategy
+    ovcs = table.ovcs
+    if ovcs is not None:
+        p, px = plan.prefix_len, plan.prefix_len + plan.infix_len
+        n_segments = sum(1 for off, _v in ovcs if off < p)
+        n_runs = sum(1 for off, _v in ovcs if off < px)
+    else:
+        n_segments = max(1, int(n ** 0.5))
+        n_runs = n_segments
+    estimates = {e.strategy: e for e in estimate_costs(plan, n, n_segments, n_runs)}
+    # Exploiting both structures is the paper's consistent winner
+    # (Figure 11); the cost-based decision of Section 3.5 is whether to
+    # exploit the pre-existing order at all, so only a clear margin for
+    # sorting from scratch overrides the structural plan.
+    planned = estimates[Strategy.COMBINED]
+    if estimates[Strategy.FULL_SORT].total < 0.5 * planned.total:
+        return Strategy.FULL_SORT
+    return Strategy.COMBINED
+
+
+def _segments(table, plan, use_ovc, in_project, stats):
+    """Segment boundaries — from codes when available, else by
+    comparing prefix columns of adjacent rows (counted)."""
+    n = len(table.rows)
+    if use_ovc:
+        return list(split_segments(table.ovcs, plan.prefix_len, n))
+    p = plan.prefix_len
+    if p == 0 or n == 0:
+        return [(0, n)] if n else []
+    boundaries = []
+    start = 0
+    prev = in_project(table.rows[0])
+    for i in range(1, n):
+        cur = in_project(table.rows[i])
+        stats.row_comparisons += 1
+        for c in range(p):
+            stats.column_comparisons += 1
+            if cur[c] != prev[c]:
+                boundaries.append((start, i))
+                start = i
+                break
+        prev = cur
+    boundaries.append((start, n))
+    return boundaries

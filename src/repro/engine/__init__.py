@@ -1,0 +1,40 @@
+"""Pull-based query execution engine with offset-value-code support.
+
+Operators are iterables of ``(row, ovc)`` pairs — the code slot is
+``None`` when a stream carries no order information.  Every operator
+exposes its output ``schema`` and ``ordering`` so order requirements
+can be planned (see :mod:`repro.optimizer`), and threads a shared
+:class:`~repro.ovc.stats.ComparisonStats`.
+"""
+
+from .operators import Operator
+from .scans import BTreeScan, ColumnStoreScan, TableScan
+from .misc import Filter, Limit, Project, TopK
+from .sort_op import Sort
+from .merge_join import MergeJoin
+from .aggregate import Aggregate, Distinct, GroupBy
+from .set_ops import Except, Intersect, UnionAll, UnionDistinct
+from .pivot import Pivot
+from .modify_op import StreamingModify
+
+__all__ = [
+    "Operator",
+    "TableScan",
+    "BTreeScan",
+    "ColumnStoreScan",
+    "Filter",
+    "Project",
+    "Limit",
+    "TopK",
+    "Sort",
+    "MergeJoin",
+    "Aggregate",
+    "GroupBy",
+    "Distinct",
+    "UnionAll",
+    "UnionDistinct",
+    "Intersect",
+    "Except",
+    "Pivot",
+    "StreamingModify",
+]

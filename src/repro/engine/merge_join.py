@@ -1,0 +1,153 @@
+"""Merge join with offset-value code support.
+
+Both inputs must be sorted on their join keys.  The classic algorithm
+advances two cursors and cross-products matching groups; offset-value
+codes contribute twice (Graefe & Do, EDBT 2023):
+
+* *within* an input, a row with code offset >= join arity equals its
+  predecessor on the join key — group membership costs no comparison;
+* *across* inputs, only one key comparison per group pair is needed.
+
+The output is ordered on the join key and carries codes for it,
+max-folded from the left input's codes (again comparison-free).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from ..model import Schema, SortSpec
+from ..ovc.codes import max_merge
+from ..ovc.compare import compare_plain
+from .operators import Operator
+
+
+class MergeJoin(Operator):
+    """Inner equi-join of two streams sorted on their join keys."""
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        left_keys: Sequence[str],
+        right_keys: Sequence[str],
+        right_prefix: str = "r_",
+    ) -> None:
+        if len(left_keys) != len(right_keys):
+            raise ValueError("join key lists must have equal length")
+        for op, keys, side in ((left, left_keys, "left"), (right, right_keys, "right")):
+            if op.ordering is None or not op.ordering.satisfies(SortSpec(keys)):
+                raise ValueError(
+                    f"{side} input must be sorted on its join keys {list(keys)}"
+                )
+        left_names = list(left.schema.columns)
+        used = set(left_names)
+        right_names = []
+        for name in right.schema.columns:
+            while name in used:
+                name = f"{right_prefix}{name}"
+            used.add(name)
+            right_names.append(name)
+        schema = Schema(tuple(left_names + right_names))
+        ordering = SortSpec(left_keys)
+        super().__init__(schema, ordering, left.stats)
+        self._left = left
+        self._right = right
+        self._lpos = left.schema.indices_of(left_keys)
+        self._rpos = right.schema.indices_of(right_keys)
+        self._arity = len(left_keys)
+
+    def __iter__(self) -> Iterator[tuple[tuple, tuple | None]]:
+        arity = self._arity
+        lpos, rpos = self._lpos, self._rpos
+        stats = self.stats
+
+        left_groups = _groups(self._left, lpos, arity, stats)
+        right_groups = _groups(self._right, rpos, arity, stats)
+
+        lgroup = next(left_groups, None)
+        rgroup = next(right_groups, None)
+        pending_code: tuple | None = None  # folded left code since last emit
+        first = True
+        while lgroup is not None and rgroup is not None:
+            lkey, lrows, lcode = lgroup
+            rkey, rrows, _rcode = rgroup
+            relation = compare_plain(lkey, rkey, stats)
+            if relation < 0:
+                pending_code = _fold(pending_code, lcode)
+                lgroup = next(left_groups, None)
+            elif relation > 0:
+                rgroup = next(right_groups, None)
+            else:
+                folded = _fold(pending_code, lcode) if lcode is not None else None
+                pending_code = None
+                emitted = False
+                for lrow in lrows:
+                    for rrow in rrows:
+                        if folded is None:
+                            ovc = None
+                        elif first:
+                            # First output row convention: offset 0,
+                            # value of the first join key column.
+                            ovc = (0, lkey[0])
+                        elif not emitted:
+                            ovc = (arity - folded[0], folded[1])
+                        else:
+                            ovc = (arity, 0)
+                        first = False
+                        emitted = True
+                        yield lrow + rrow, ovc
+                lgroup = next(left_groups, None)
+                rgroup = next(right_groups, None)
+
+    def _children(self) -> list[Operator]:
+        return [self._left, self._right]
+
+
+def _fold(pending: tuple | None, code: tuple | None) -> tuple | None:
+    if code is None:
+        return None
+    return code if pending is None else max_merge(pending, code)
+
+
+def _groups(source: Operator, positions, arity: int, stats):
+    """Yield ``(key, rows, folded-code)`` per distinct join key.
+
+    Group boundaries come from codes when present (offset < arity) and
+    from counted key comparisons otherwise.  The folded code is the
+    group head's code clamped to the join arity, in ascending form.
+    """
+    key = None
+    rows: list[tuple] = []
+    code: tuple | None = None
+    have_codes = True
+    prev_key = None
+    for row, ovc in source:
+        rkey = tuple(row[p] for p in positions)
+        if ovc is None:
+            have_codes = False
+        if key is None:
+            new_group = True
+        elif have_codes:
+            new_group = ovc[0] < arity
+        else:
+            new_group = compare_plain(prev_key, rkey, stats) != 0
+        if new_group:
+            if key is not None:
+                yield key, rows, code
+            key = rkey
+            rows = [row]
+            code = _clamp_code(ovc, arity) if ovc is not None else None
+        else:
+            rows.append(row)
+        prev_key = rkey
+    if key is not None:
+        yield key, rows, code
+
+
+def _clamp_code(ovc: tuple, arity: int) -> tuple:
+    """Paper-form code -> ascending form under the join-key prefix."""
+    offset, value = ovc
+    if offset >= arity:
+        return (0, 0)
+    return (arity - offset, value)

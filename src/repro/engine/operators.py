@@ -1,0 +1,72 @@
+"""Operator base class for the pull-based engine.
+
+Mirrors the paper's system context: "All operators in this engine are
+pull-based, resulting in simple and clean interfaces.  Each row consists
+of its column values and a special (non-columnar) field holding the
+offset-value code."  Here a stream element is the pair ``(row, ovc)``
+with ``ovc`` in paper form relative to the stream predecessor under
+``self.ordering`` (or ``None`` for unordered streams).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..model import Schema, SortSpec, Table
+from ..ovc.stats import ComparisonStats
+
+
+class Operator:
+    """Base class: an iterable of ``(row, ovc)`` with order metadata."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        ordering: SortSpec | None,
+        stats: ComparisonStats | None = None,
+    ) -> None:
+        self.schema = schema
+        self.ordering = ordering
+        self.stats = stats if stats is not None else ComparisonStats()
+
+    def __iter__(self) -> Iterator[tuple[tuple, tuple | None]]:
+        raise NotImplementedError
+
+    # Convenience terminals -------------------------------------------------
+
+    def rows(self) -> list[tuple]:
+        return [row for row, _ovc in self]
+
+    def to_table(self) -> Table:
+        rows: list[tuple] = []
+        ovcs: list[tuple] = []
+        carries_codes = True
+        for row, ovc in self:
+            rows.append(row)
+            if ovc is None:
+                carries_codes = False
+            else:
+                ovcs.append(ovc)
+        return Table(
+            self.schema,
+            rows,
+            self.ordering,
+            ovcs if carries_codes and self.ordering is not None else None,
+        )
+
+    def explain(self, indent: int = 0) -> str:
+        """One-line-per-operator plan rendering."""
+        pad = "  " * indent
+        line = f"{pad}{self.__class__.__name__}{self._explain_detail()}"
+        children = "".join(
+            "\n" + c.explain(indent + 1) for c in self._children()
+        )
+        return line + children
+
+    def _explain_detail(self) -> str:
+        if self.ordering is not None:
+            return f" [ordered on {', '.join(map(repr, self.ordering))}]"
+        return ""
+
+    def _children(self) -> list["Operator"]:
+        return []

@@ -1,0 +1,193 @@
+"""Sort-based set operations with offset-value codes.
+
+Union (all/distinct), intersection, and difference of streams sorted on
+the same key ride the merge machinery: codes decide duplicate detection
+within each input for free (offset >= key arity), and one key
+comparison per group pair aligns the two inputs — the "set operations
+such as intersection" listed among sort-based algorithms by the
+companion EDBT 2023 paper.
+
+Output codes: INTERSECT and EXCEPT emit subsequences of the *left*
+input, so their codes are repaired by max-folding the skipped left
+group-head codes (exact duplicates inside a group carry the minimal
+code and never affect the fold).  UNION interleaves both inputs, whose
+code chains do not compose; ``UnionAll`` merges with full codes via the
+tournament machinery, while ``UnionDistinct`` emits uncoded rows (pipe
+through ``UnionAll`` + ``Distinct`` when codes matter downstream).
+
+Inputs must share a schema and be sorted on identical orderings.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..ovc.codes import code_to_ovc, max_merge, ovc_to_code
+from ..ovc.compare import compare_plain
+from ..sorting.merge import _key_projector, kway_merge
+from .operators import Operator
+
+
+def _check_inputs(left: Operator, right: Operator) -> None:
+    if left.schema != right.schema:
+        raise ValueError("set operations need identical schemas")
+    if left.ordering is None or left.ordering != right.ordering:
+        raise ValueError("set operations need both inputs sorted alike")
+
+
+class UnionAll(Operator):
+    """Merge two sorted streams, keeping duplicates (a 2-way merge)."""
+
+    def __init__(self, left: Operator, right: Operator) -> None:
+        _check_inputs(left, right)
+        super().__init__(left.schema, left.ordering, left.stats)
+        self._left = left
+        self._right = right
+
+    def __iter__(self) -> Iterator[tuple[tuple, tuple | None]]:
+        spec = self.ordering
+        positions = spec.positions(self.schema)
+        runs = []
+        for source in (self._left, self._right):
+            rows, ovcs, coded = [], [], True
+            for row, ovc in source:
+                rows.append(row)
+                if ovc is None:
+                    coded = False
+                else:
+                    ovcs.append(ovc)
+            runs.append((rows, ovcs if coded else None))
+        use_ovc = all(ovcs is not None for _rows, ovcs in runs)
+        out_rows, out_ovcs = kway_merge(
+            runs, positions, self.stats, spec.directions, use_ovc
+        )
+        if out_ovcs is None:
+            for row in out_rows:
+                yield row, None
+        else:
+            yield from zip(out_rows, out_ovcs)
+
+    def _children(self) -> list[Operator]:
+        return [self._left, self._right]
+
+
+class _GroupCursor:
+    """Step through a sorted stream one distinct key at a time.
+
+    Yields ``(normalized_key, head_row, head_code)`` where ``head_code``
+    is the group head's ascending code (or None on uncoded streams);
+    rows after the head are exact duplicates detected from codes when
+    available, by counted comparisons otherwise.
+    """
+
+    def __init__(self, source: Operator, project, arity: int, stats) -> None:
+        self._iter = iter(source)
+        self._project = project
+        self._arity = arity
+        self._stats = stats
+        self._pending = next(self._iter, None)
+
+    def next_group(self):
+        if self._pending is None:
+            return None
+        head, head_ovc = self._pending
+        key = self._project(head)
+        while True:
+            nxt = next(self._iter, None)
+            if nxt is None:
+                self._pending = None
+                break
+            row, ovc = nxt
+            if ovc is not None:
+                same = ovc[0] >= self._arity
+            else:
+                same = compare_plain(key, self._project(row), self._stats) == 0
+            if not same:
+                self._pending = nxt
+                break
+        code = None if head_ovc is None else ovc_to_code(head_ovc, self._arity)
+        return key, head, code
+
+
+class _SetOpBase(Operator):
+    def __init__(self, left: Operator, right: Operator) -> None:
+        _check_inputs(left, right)
+        super().__init__(left.schema, left.ordering, left.stats)
+        self._left = left
+        self._right = right
+
+    def _aligned_groups(self):
+        """Yield ``(relation, left_group, right_group)`` pairs.
+
+        relation: -1 left-only key, 0 both, 1 right-only key.
+        Exhausted sides surface as -1/1 with the other group None.
+        """
+        spec = self.ordering
+        project = _key_projector(spec.positions(self.schema), spec.directions)
+        arity = spec.arity
+        lg = _GroupCursor(self._left, project, arity, self.stats)
+        rg = _GroupCursor(self._right, project, arity, self.stats)
+        a, b = lg.next_group(), rg.next_group()
+        while a is not None and b is not None:
+            relation = compare_plain(a[0], b[0], self.stats)
+            yield relation, a, b
+            if relation <= 0:
+                a = lg.next_group()
+            if relation >= 0:
+                b = rg.next_group()
+        while a is not None:
+            yield -1, a, None
+            a = lg.next_group()
+        while b is not None:
+            yield 1, None, b
+            b = rg.next_group()
+
+    def _children(self) -> list[Operator]:
+        return [self._left, self._right]
+
+
+class _LeftSubsequenceOp(_SetOpBase):
+    """Common machinery for ops emitting a subsequence of left keys."""
+
+    def _emit(self, relations) -> Iterator[tuple[tuple, tuple | None]]:
+        arity = self.ordering.arity
+        fold: tuple | None = None
+        broken = False  # stream lost its codes somewhere
+        for relation, a, _b in self._aligned_groups():
+            if a is None:
+                continue
+            _key, head, code = a
+            if code is None:
+                broken = True
+            elif not broken:
+                fold = code if fold is None else max_merge(fold, code)
+            if relation in relations:
+                yield head, None if broken else code_to_ovc(fold, arity)
+                fold = None
+
+
+class Intersect(_LeftSubsequenceOp):
+    """Distinct keys present in both inputs (INTERSECT)."""
+
+    def __iter__(self):
+        return self._emit(relations=(0,))
+
+
+class Except(_LeftSubsequenceOp):
+    """Distinct keys of the left input absent from the right (EXCEPT)."""
+
+    def __iter__(self):
+        return self._emit(relations=(-1,))
+
+
+class UnionDistinct(_SetOpBase):
+    """Distinct keys present in either input (UNION).
+
+    Output rows interleave both inputs, so no code chain survives; use
+    ``Distinct(UnionAll(left, right))`` for a coded union.
+    """
+
+    def __iter__(self) -> Iterator[tuple[tuple, tuple | None]]:
+        for relation, a, b in self._aligned_groups():
+            head = a[1] if relation <= 0 and a is not None else b[1]
+            yield head, None

@@ -1,0 +1,116 @@
+"""The Sort operator: the engine's order enforcer.
+
+Given a required output order, Sort inspects the child's declared
+ordering and offset-value codes and picks the cheapest path through the
+paper's machinery:
+
+* child already satisfies the order -> pass through (case 0, possibly
+  re-coding onto the shorter key);
+* related order -> :func:`repro.core.modify.modify_sort_order`
+  (segmented sorting / merging pre-existing runs / combined);
+* unordered child -> internal tournament sort, or external merge sort
+  when a memory budget is configured and exceeded.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..model import SortSpec, Table
+from ..core.modify import modify_sort_order
+from ..sorting.external import ExternalMergeSort
+from ..sorting.internal import tournament_sort
+from .operators import Operator
+
+
+class Sort(Operator):
+    """Enforce ``spec`` on the child stream."""
+
+    def __init__(
+        self,
+        child: Operator,
+        spec: SortSpec,
+        method: str = "auto",
+        use_ovc: bool = True,
+        memory_capacity: int | None = None,
+        fan_in: int = 16,
+    ) -> None:
+        super().__init__(child.schema, spec, child.stats)
+        self._child = child
+        self._spec = spec
+        self._method = method
+        self._use_ovc = use_ovc
+        self._memory_capacity = memory_capacity
+        self._fan_in = fan_in
+        #: Strategy actually executed, for tests and EXPLAIN output.
+        self.executed: str | None = None
+
+    def __iter__(self) -> Iterator[tuple[tuple, tuple | None]]:
+        child = self._child
+        if child.ordering is not None and child.ordering.satisfies(self._spec):
+            self.executed = "passthrough"
+            arity = self._spec.arity
+            for row, ovc in child:
+                if ovc is None:
+                    yield row, None
+                elif ovc[0] >= arity:
+                    yield row, (arity, 0)
+                else:
+                    yield row, ovc
+            return
+
+        if child.ordering is not None:
+            table = child.to_table()
+            result = modify_sort_order(
+                table,
+                self._spec,
+                method=self._method,
+                use_ovc=self._use_ovc and table.ovcs is not None,
+                stats=self.stats,
+            )
+            self.executed = "modify_sort_order"
+            yield from _emit(result)
+            return
+
+        rows = [row for row, _ovc in child]
+        if (
+            self._memory_capacity is not None
+            and len(rows) > self._memory_capacity
+        ):
+            sorter = ExternalMergeSort(
+                self._spec.positions(self.schema),
+                memory_capacity=self._memory_capacity,
+                fan_in=self._fan_in,
+                use_ovc=self._use_ovc,
+                directions=self._spec.directions,
+            )
+            result = sorter.sort(rows)
+            self.executed = "external_sort"
+            self.stats.merge(result.total_stats)
+            yield from zip(result.rows, result.ovcs or (None,) * len(result.rows))
+            return
+
+        sorted_rows, ovcs = tournament_sort(
+            rows,
+            self._spec.positions(self.schema),
+            self.stats,
+            self._spec.directions,
+            self._use_ovc,
+        )
+        self.executed = "internal_sort"
+        if ovcs is None:
+            for row in sorted_rows:
+                yield row, None
+        else:
+            yield from zip(sorted_rows, ovcs)
+
+    def _children(self) -> list[Operator]:
+        return [self._child]
+
+
+def _emit(table: Table) -> Iterator[tuple[tuple, tuple | None]]:
+    if table.ovcs is None:
+        for row in table.rows:
+            yield row, None
+    else:
+        yield from zip(table.rows, table.ovcs)

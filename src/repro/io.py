@@ -1,0 +1,181 @@
+"""Reading and writing tables: CSV and JSON-lines.
+
+Small but real I/O so the library is usable on actual data files:
+
+* :func:`read_csv` / :func:`write_csv` — header row = schema; values
+  are type-inferred (int -> float -> str) column-wise unless explicit
+  ``types`` are given;
+* :func:`read_jsonl` / :func:`write_jsonl` — one object per line;
+* both readers accept a declared ``sort_spec`` and verify it while
+  streaming (cheap, single pass), deriving offset-value codes on the
+  fly so a loaded table is immediately usable by the engine.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import IO, Sequence
+
+from .model import Schema, SortSpec, Table
+from .ovc.derive import derive_ovcs
+
+
+def _infer_column(values: list[str]):
+    """Pick the narrowest type fitting every non-empty value."""
+
+    def try_all(cast):
+        out = []
+        for v in values:
+            if v == "":
+                out.append(None)
+                continue
+            out.append(cast(v))
+        return out
+
+    for cast in (int, float):
+        try:
+            return try_all(cast)
+        except ValueError:
+            continue
+    return [v if v != "" else None for v in values]
+
+
+def read_csv(
+    path: str | Path | IO[str],
+    sort_spec: SortSpec | None = None,
+    types: Sequence[type] | None = None,
+    delimiter: str = ",",
+) -> Table:
+    """Load a CSV with a header row into a :class:`Table`.
+
+    With ``sort_spec`` the rows are validated against it and codes are
+    derived; loading unsorted data with a spec raises ``ValueError``.
+    """
+    close = False
+    if isinstance(path, (str, Path)):
+        handle: IO[str] = open(path, newline="")
+        close = True
+    else:
+        handle = path
+    try:
+        reader = csv.reader(handle, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError("CSV file has no header row") from None
+        raw_rows = [row for row in reader]
+    finally:
+        if close:
+            handle.close()
+
+    schema = Schema(tuple(h.strip() for h in header))
+    width = len(schema)
+    for i, row in enumerate(raw_rows):
+        if len(row) != width:
+            raise ValueError(
+                f"row {i + 1} has {len(row)} fields, expected {width}"
+            )
+
+    if types is not None:
+        if len(types) != width:
+            raise ValueError("one type per column required")
+        columns = [
+            [types[c](row[c]) if row[c] != "" else None for row in raw_rows]
+            for c in range(width)
+        ]
+    else:
+        columns = [
+            _infer_column([row[c] for row in raw_rows]) for c in range(width)
+        ]
+    rows = [tuple(col[i] for col in columns) for i in range(len(raw_rows))]
+    table = Table(schema, rows, sort_spec)
+    if sort_spec is not None:
+        table.ovcs = derive_ovcs(
+            rows, sort_spec.positions(schema), sort_spec.directions
+        )
+    return table
+
+
+def write_csv(
+    table: Table, path: str | Path | IO[str], delimiter: str = ","
+) -> None:
+    close = False
+    if isinstance(path, (str, Path)):
+        handle: IO[str] = open(path, "w", newline="")
+        close = True
+    else:
+        handle = path
+    try:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(table.schema.columns)
+        for row in table.rows:
+            writer.writerow(["" if v is None else v for v in row])
+    finally:
+        if close:
+            handle.close()
+
+
+def read_jsonl(
+    path: str | Path | IO[str],
+    schema: Schema | None = None,
+    sort_spec: SortSpec | None = None,
+) -> Table:
+    """Load JSON-lines (one object per line) into a :class:`Table`.
+
+    Without an explicit ``schema`` the first object's keys (in
+    insertion order) define it; later objects may omit keys (None) but
+    not add new ones.
+    """
+    close = False
+    if isinstance(path, (str, Path)):
+        handle: IO[str] = open(path)
+        close = True
+    else:
+        handle = path
+    try:
+        rows: list[tuple] = []
+        for line_nr, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            if not isinstance(obj, dict):
+                raise ValueError(f"line {line_nr}: expected an object")
+            if schema is None:
+                schema = Schema(tuple(obj.keys()))
+            unknown = set(obj) - set(schema.columns)
+            if unknown:
+                raise ValueError(
+                    f"line {line_nr}: unknown columns {sorted(unknown)}"
+                )
+            rows.append(tuple(obj.get(c) for c in schema.columns))
+    finally:
+        if close:
+            handle.close()
+    if schema is None:
+        raise ValueError("empty JSONL input needs an explicit schema")
+    table = Table(schema, rows, sort_spec)
+    if sort_spec is not None:
+        table.ovcs = derive_ovcs(
+            rows, sort_spec.positions(schema), sort_spec.directions
+        )
+    return table
+
+
+def write_jsonl(table: Table, path: str | Path | IO[str]) -> None:
+    close = False
+    if isinstance(path, (str, Path)):
+        handle: IO[str] = open(path, "w")
+        close = True
+    else:
+        handle = path
+    try:
+        for row in table.rows:
+            handle.write(
+                json.dumps(dict(zip(table.schema.columns, row))) + "\n"
+            )
+    finally:
+        if close:
+            handle.close()

@@ -1,0 +1,272 @@
+"""Join ordering with interesting orderings and order modification.
+
+Hypothesis 10: "interesting orderings in database query optimization
+should be expanded beyond *using* an existing sort order — they should
+also exploit techniques for *modifying* an existing sort order."
+
+This module implements a Selinger-style dynamic program over connected
+sub-plans for merge-join-only plans.  Each DP state is a set of joined
+relations *plus the physical ordering of the sub-plan's output* — the
+classic interesting-ordering refinement — and order enforcers between
+joins are priced with the full menu: already sorted (free), segmented
+sorting, merging pre-existing runs, combined, or full sort.  Disabling
+order modification (``modification_allowed=False``) reduces enforcers
+to sorted-or-sort, quantifying what hypothesis 10 buys.
+
+The planner works on catalog metadata (row counts, available index
+orders, join edges); it does not execute plans — pair it with
+:mod:`repro.optimizer.planner` to build runnable operator trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..core.analysis import Strategy, analyze_order_modification
+from ..core.cost import CostModel
+from ..model import SortSpec
+
+
+@dataclass(frozen=True)
+class Relation:
+    """A base table with its available physical orderings (indexes).
+
+    ``unique_keys`` lists column sets with at-most-one row per value
+    (primary/unique keys); they drive ordering propagation through
+    merge joins — a join against a side unique on the join columns
+    preserves the other side's full sort order, the fact behind the
+    paper's three-table enrollment example.
+    """
+
+    name: str
+    n_rows: int
+    orderings: tuple[SortSpec, ...]
+    distinct_per_column: float = 64.0
+    unique_keys: tuple[frozenset[str], ...] = ()
+
+
+@dataclass(frozen=True)
+class JoinEdge:
+    """An equi-join between columns of two relations.
+
+    Columns are given globally unique names (qualify them yourself,
+    e.g. ``"enrollment.student"`` vs ``"student.student"``); the edge
+    lists the paired column names on each side.
+    """
+
+    left: str
+    right: str
+    left_columns: tuple[str, ...]
+    right_columns: tuple[str, ...]
+    selectivity: float = 0.01
+
+
+@dataclass
+class PlanNode:
+    """One DP entry: a joined relation set with a concrete output order."""
+
+    relations: frozenset[str]
+    ordering: SortSpec | None
+    cost: float
+    rows: float
+    description: str
+    unique_keys: tuple[frozenset[str], ...] = ()
+
+    def explain(self) -> str:
+        return f"{self.description} [cost {self.cost:,.0f}, ~{self.rows:,.0f} rows]"
+
+    def unique_on(self, columns: Iterable[str]) -> bool:
+        cols = set(columns)
+        return any(key <= cols for key in self.unique_keys)
+
+
+def _enforcer_cost(
+    provided: SortSpec | None,
+    required: SortSpec,
+    n_rows: float,
+    distinct: float,
+    modification_allowed: bool,
+) -> tuple[float, str]:
+    """Cheapest way to impose ``required``; returns (cost, label)."""
+    n = max(int(n_rows), 1)
+    if provided is not None and provided.satisfies(required):
+        return 0.0, "sorted"
+    model_full = CostModel(n, 1, 1)
+    full = model_full.full_sort().total
+    if provided is None or not modification_allowed:
+        return full, "sort"
+    plan = analyze_order_modification(provided, required)
+    if plan.strategy is Strategy.NOOP:
+        return 0.0, "sorted"
+    if plan.strategy is Strategy.FULL_SORT:
+        return full, "sort"
+    n_segments = max(1, int(min(distinct ** plan.prefix_len, n)))
+    n_runs = max(
+        n_segments,
+        int(min(distinct ** (plan.prefix_len + max(plan.infix_len, 1)), n)),
+    )
+    estimate = CostModel(n, n_segments, n_runs).estimate(plan.strategy)
+    if estimate.total < full:
+        return estimate.total, f"modify({plan.strategy.value})"
+    return full, "sort"
+
+
+def plan_joins(
+    relations: Sequence[Relation],
+    edges: Sequence[JoinEdge],
+    modification_allowed: bool = True,
+) -> PlanNode:
+    """Best merge-join plan over all bushy join orders.
+
+    Returns the cheapest :class:`PlanNode` covering every relation.
+    Cross products are not considered; the join graph must be
+    connected.
+    """
+    if not relations:
+        raise ValueError("need at least one relation")
+    by_name = {r.name: r for r in relations}
+    if len(by_name) != len(relations):
+        raise ValueError("duplicate relation names")
+
+    edge_map: dict[tuple[str, str], JoinEdge] = {}
+    for e in edges:
+        if e.left not in by_name or e.right not in by_name:
+            raise ValueError(f"edge references unknown relation: {e}")
+        edge_map[(e.left, e.right)] = e
+        edge_map[(e.right, e.left)] = JoinEdge(
+            e.right, e.left, e.right_columns, e.left_columns, e.selectivity
+        )
+
+    # DP table: relation set -> list of Pareto candidates (by ordering).
+    table: dict[frozenset[str], list[PlanNode]] = {}
+    for r in relations:
+        singles = [
+            PlanNode(
+                frozenset([r.name]), spec, 0.0, r.n_rows,
+                f"scan {r.name} [{spec}]", r.unique_keys,
+            )
+            for spec in r.orderings
+        ]
+        if not singles:
+            singles = [
+                PlanNode(
+                    frozenset([r.name]), None, 0.0, r.n_rows,
+                    f"scan {r.name}", r.unique_keys,
+                )
+            ]
+        table[frozenset([r.name])] = singles
+
+    def edges_between(left: frozenset[str], right: frozenset[str]):
+        for l in left:
+            for r in right:
+                if (l, r) in edge_map:
+                    yield edge_map[(l, r)]
+
+    def join_candidates(a: PlanNode, b: PlanNode, edge: JoinEdge):
+        left_spec = SortSpec(edge.left_columns)
+        right_spec = SortSpec(edge.right_columns)
+        dist = min(
+            by_name[edge.left].distinct_per_column,
+            by_name[edge.right].distinct_per_column,
+        )
+        lcost, llabel = _enforcer_cost(
+            a.ordering, left_spec, a.rows, dist, modification_allowed
+        )
+        rcost, rlabel = _enforcer_cost(
+            b.ordering, right_spec, b.rows, dist, modification_allowed
+        )
+        out_rows = max(a.rows * b.rows * edge.selectivity, 1.0)
+        merge_cost = a.rows + b.rows + out_rows
+        cost = a.cost + b.cost + lcost + rcost + merge_cost
+        description = (
+            f"({a.description}) MJ[{llabel}/{rlabel}] ({b.description})"
+        )
+
+        # Uniqueness propagation: joining against a side unique on the
+        # join columns keeps the other side's rows 1:1 in the output,
+        # so its unique keys survive.
+        left_unique = a.unique_on(edge.left_columns)
+        right_unique = b.unique_on(edge.right_columns)
+        unique: tuple[frozenset[str], ...] = ()
+        if left_unique and right_unique:
+            unique = a.unique_keys + b.unique_keys
+        elif left_unique:
+            unique = b.unique_keys
+        elif right_unique:
+            unique = a.unique_keys
+
+        # Ordering propagation.  The merge output always sorts on the
+        # join key; a unique side additionally preserves the other
+        # side's FULL effective order — the interesting-ordering fact
+        # that lets a later join modify rather than sort (hypothesis
+        # 10 / the three-table enrollment example).
+        effective_a = a.ordering if lcost == 0.0 and a.ordering else left_spec
+        effective_b = b.ordering if rcost == 0.0 and b.ordering else right_spec
+        orderings = {left_spec}
+        if left_unique:
+            orderings.add(effective_b)
+        if right_unique:
+            orderings.add(effective_a)
+        out = a.relations | b.relations
+        return [
+            PlanNode(out, ordering, cost, out_rows, description, unique)
+            for ordering in orderings
+        ]
+
+    names = [r.name for r in relations]
+    n = len(names)
+    all_sets = [frozenset(s) for s in _subsets(names) if s]
+    all_sets.sort(key=len)
+    for subset in all_sets:
+        if len(subset) == 1:
+            continue
+        best: dict[SortSpec | None, PlanNode] = {}
+        for left in _proper_subsets(subset):
+            right = subset - left
+            if left not in table or right not in table:
+                continue
+            for edge in edges_between(left, right):
+                for a in table[left]:
+                    for b in table[right]:
+                        for cand in join_candidates(a, b, edge):
+                            cur = best.get(cand.ordering)
+                            if cur is None or cand.cost < cur.cost:
+                                best[cand.ordering] = cand
+        if best:
+            # Prune: drop candidates dominated by a cheaper one whose
+            # ordering satisfies theirs.
+            table[subset] = _prune(list(best.values()))
+
+    final = table.get(frozenset(names))
+    if not final:
+        raise ValueError("join graph is not connected")
+    return min(final, key=lambda p: p.cost)
+
+
+def _prune(candidates: list[PlanNode]) -> list[PlanNode]:
+    kept: list[PlanNode] = []
+    for cand in sorted(candidates, key=lambda p: p.cost):
+        dominated = any(
+            k.cost <= cand.cost
+            and k.ordering is not None
+            and cand.ordering is not None
+            and k.ordering.satisfies(cand.ordering)
+            for k in kept
+        )
+        if not dominated:
+            kept.append(cand)
+    return kept
+
+
+def _subsets(items: list[str]):
+    n = len(items)
+    for mask in range(1 << n):
+        yield {items[i] for i in range(n) if mask & (1 << i)}
+
+
+def _proper_subsets(subset: frozenset[str]):
+    items = sorted(subset)
+    n = len(items)
+    for mask in range(1, (1 << n) - 1):
+        yield frozenset(items[i] for i in range(n) if mask & (1 << i))

@@ -1,0 +1,105 @@
+"""Interesting orderings: satisfaction with constants and functional
+dependencies.
+
+Classic order-optimization technique (Selinger et al. 1979; Simmen et
+al. 1996): before comparing a provided ordering against a required one,
+both are *reduced* —
+
+* columns bound to a constant (by an equality predicate) never affect
+  order and are removed;
+* a column functionally determined by the columns ordered before it
+  adds no ordering information and is removed (e.g. a primary key
+  earlier in the ordering determines everything after it).
+
+After reduction, ``provided`` satisfies ``required`` iff the reduced
+required spec is a prefix of the reduced provided spec — or the
+provided columns that *do* appear make the remainder constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..model import SortColumn, SortSpec
+
+
+@dataclass
+class OrderingContext:
+    """Constants and functional dependencies known for a stream.
+
+    ``constants`` — column names bound by equality predicates.
+    ``fds`` — pairs ``(determinants, dependents)``: the set of
+    determinant columns functionally determines each dependent column.
+    A key constraint over columns ``K`` on a table with columns ``C``
+    is declared as ``(K, C - K)``.
+    """
+
+    constants: frozenset[str] = frozenset()
+    fds: tuple[tuple[frozenset[str], frozenset[str]], ...] = ()
+
+    @staticmethod
+    def of(
+        constants: Iterable[str] = (),
+        fds: Iterable[tuple[Iterable[str], Iterable[str]]] = (),
+    ) -> "OrderingContext":
+        return OrderingContext(
+            frozenset(constants),
+            tuple((frozenset(d), frozenset(deps)) for d, deps in fds),
+        )
+
+    def closure(self, columns: frozenset[str]) -> frozenset[str]:
+        """Attribute closure of ``columns`` (plus constants) under the
+        functional dependencies."""
+        known = set(columns) | set(self.constants)
+        changed = True
+        while changed:
+            changed = False
+            for determinants, dependents in self.fds:
+                if determinants <= known and not dependents <= known:
+                    known |= dependents
+                    changed = True
+        return frozenset(known)
+
+
+def reduce_spec(spec: SortSpec, context: OrderingContext) -> SortSpec:
+    """Drop constant and functionally-determined columns from a spec."""
+    kept: list[SortColumn] = []
+    prefix: set[str] = set()
+    for col in spec:
+        if col.name in context.constants:
+            continue
+        if col.name in context.closure(frozenset(prefix)):
+            prefix.add(col.name)
+            continue
+        kept.append(col)
+        prefix.add(col.name)
+    return SortSpec(kept)
+
+
+def satisfies_with_context(
+    provided: SortSpec | None,
+    required: SortSpec,
+    context: OrderingContext | None = None,
+) -> bool:
+    """Does data ordered on ``provided`` meet ``required``?
+
+    Reduction handles the cases a naive prefix test misses: required
+    columns bound to constants, and required columns determined by the
+    ordering already seen.
+    """
+    context = context if context is not None else OrderingContext()
+    required_reduced = reduce_spec(required, context)
+    if required_reduced.arity == 0:
+        return True
+    if provided is None:
+        return False
+    provided_reduced = reduce_spec(provided, context)
+    if provided_reduced.satisfies(required_reduced):
+        return True
+    # Prefix plus closure: once the shared prefix's columns determine
+    # every remaining required column, the order is satisfied.
+    shared = provided_reduced.common_prefix_len(required_reduced)
+    prefix_cols = frozenset(c.name for c in required_reduced[:shared])
+    remaining = [c.name for c in required_reduced[shared:]]
+    return all(name in context.closure(prefix_cols) for name in remaining)

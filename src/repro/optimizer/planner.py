@@ -1,0 +1,114 @@
+"""Order-enforcer choice and merge-join planning.
+
+The paper's hypothesis 10: query optimizers should treat "modify an
+existing sort order" as a first-class enforcer next to "sort" and
+"already sorted".  :func:`choose_enforcer` compares the candidates with
+the core cost model; :func:`plan_merge_join` builds a merge-join plan
+over streams, inserting the cheapest enforcers — the machinery behind
+the enrollment example, where a single (course, student) index serves
+joins on either column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.analysis import Strategy, analyze_order_modification
+from ..core.cost import CostEstimate, estimate_costs
+from ..engine.merge_join import MergeJoin
+from ..engine.operators import Operator
+from ..engine.sort_op import Sort
+from ..model import SortSpec
+from .orderings import OrderingContext, satisfies_with_context
+
+
+@dataclass(frozen=True)
+class EnforcerChoice:
+    """Outcome of enforcer planning for one stream."""
+
+    strategy: Strategy
+    estimate: CostEstimate | None
+    #: Sort method string to pass to the Sort operator / modify call.
+    method: str
+
+    @property
+    def is_free(self) -> bool:
+        return self.strategy is Strategy.NOOP
+
+
+_METHOD_OF = {
+    Strategy.NOOP: "noop",
+    Strategy.SEGMENT_SORT: "segment_sort",
+    Strategy.MERGE_RUNS: "merge_runs",
+    Strategy.COMBINED: "combined",
+    Strategy.FULL_SORT: "full_sort",
+}
+
+
+def choose_enforcer(
+    provided: SortSpec | None,
+    required: SortSpec,
+    n_rows: int,
+    n_segments: int | None = None,
+    n_runs: int | None = None,
+    context: OrderingContext | None = None,
+    memory_capacity: int = 1 << 20,
+    fan_in: int = 128,
+) -> EnforcerChoice:
+    """Pick the cheapest way to give a stream the required order.
+
+    ``n_segments``/``n_runs`` are catalog statistics (distinct counts
+    of the shared prefix / prefix+infix); when omitted they default to
+    square-root heuristics, as a real optimizer would estimate from
+    histograms.
+    """
+    if satisfies_with_context(provided, required, context):
+        return EnforcerChoice(Strategy.NOOP, None, "noop")
+    if provided is None:
+        model_plan = None
+    else:
+        model_plan = analyze_order_modification(provided, required)
+    if model_plan is None or model_plan.strategy is Strategy.FULL_SORT:
+        from ..core.cost import CostModel
+
+        estimate = CostModel(n_rows, 1, 1, memory_capacity, fan_in).full_sort()
+        return EnforcerChoice(Strategy.FULL_SORT, estimate, "full_sort")
+    if n_segments is None:
+        n_segments = max(1, int(n_rows ** 0.5)) if model_plan.prefix_len else 1
+    if n_runs is None:
+        n_runs = max(n_segments, int(n_rows ** 0.5))
+    estimates = estimate_costs(
+        model_plan, n_rows, n_segments, n_runs, memory_capacity, fan_in
+    )
+    best = estimates[0]
+    return EnforcerChoice(best.strategy, best, _METHOD_OF[best.strategy])
+
+
+def enforce(
+    child: Operator,
+    required: SortSpec,
+    context: OrderingContext | None = None,
+    n_segments: int | None = None,
+    n_runs: int | None = None,
+) -> Operator:
+    """Wrap ``child`` in the cheapest order enforcer (possibly none)."""
+    if satisfies_with_context(child.ordering, required, context):
+        return child
+    # Row count unknown until execution; Sort's "auto" re-checks the
+    # cost model against actual segment/run counts from the codes.
+    return Sort(child, required, method="auto")
+
+
+def plan_merge_join(
+    left: Operator,
+    right: Operator,
+    left_keys: list[str],
+    right_keys: list[str],
+    context: OrderingContext | None = None,
+) -> Operator:
+    """A merge join with order enforcers inserted as needed."""
+    left_spec = SortSpec(left_keys)
+    right_spec = SortSpec(right_keys)
+    left_in = enforce(left, left_spec, context)
+    right_in = enforce(right, right_spec, context)
+    return MergeJoin(left_in, right_in, left_keys, right_keys)

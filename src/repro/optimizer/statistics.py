@@ -1,0 +1,105 @@
+"""Order statistics straight from offset-value codes.
+
+A sorted table's codes encode, for free, the statistic the cost model
+needs: the number of distinct values of *every* key prefix.  A row
+starts a new distinct ``k``-prefix exactly when its offset is below
+``k``, so one histogram of offsets answers all prefix lengths at once —
+no column is ever read:
+
+    distinct(prefix k) = #{rows with offset < k}
+
+This replaces the square-root guesses in
+:func:`repro.optimizer.planner.choose_enforcer` with exact numbers
+whenever the input is at hand (or cheap samples of it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from ..model import Table
+from .planner import EnforcerChoice, choose_enforcer
+from ..model import SortSpec
+
+
+@dataclass(frozen=True)
+class OrderStatistics:
+    """Distinct-prefix counts of a sorted input, per prefix length.
+
+    ``distinct[k]`` is the number of distinct values of the first ``k``
+    sort columns (``distinct[0] == min(1, n)`` by convention).
+    """
+
+    n_rows: int
+    distinct: tuple[int, ...]
+
+    @property
+    def arity(self) -> int:
+        return len(self.distinct) - 1
+
+    def distinct_prefix(self, k: int) -> int:
+        if not 0 <= k <= self.arity:
+            raise ValueError(f"prefix length {k} outside [0, {self.arity}]")
+        return self.distinct[k]
+
+    def segments_for(self, prefix_len: int) -> int:
+        """Segment count when segmenting on the first ``prefix_len``
+        sort columns."""
+        return self.distinct_prefix(prefix_len)
+
+    def runs_for(self, prefix_len: int, infix_len: int) -> int:
+        """Pre-existing run count for the given decomposition."""
+        return self.distinct_prefix(min(prefix_len + infix_len, self.arity))
+
+    def average_segment_rows(self, prefix_len: int) -> float:
+        return self.n_rows / max(self.segments_for(prefix_len), 1)
+
+    def describe(self) -> str:
+        parts = ", ".join(
+            f"|prefix {k}|={d:,}" for k, d in enumerate(self.distinct) if k
+        )
+        return f"{self.n_rows:,} rows: {parts}"
+
+
+def collect_order_statistics(table: Table) -> OrderStatistics:
+    """One pass over the codes; zero column accesses."""
+    if table.sort_spec is None:
+        raise ValueError("statistics need a declared sort order")
+    table.with_ovcs()
+    arity = table.sort_spec.arity
+    n = len(table.rows)
+    histogram = [0] * (arity + 1)
+    for offset, _value in table.ovcs:
+        histogram[min(offset, arity)] += 1
+    # distinct(k) = rows with offset < k; cumulative sum of histogram.
+    distinct = [min(n, 1)]
+    running = 0
+    for k in range(arity):
+        running += histogram[k]
+        distinct.append(running)
+    return OrderStatistics(n, tuple(distinct))
+
+
+def choose_enforcer_with_statistics(
+    table: Table,
+    required: SortSpec,
+    memory_capacity: int = 1 << 20,
+    fan_in: int = 128,
+) -> EnforcerChoice:
+    """Enforcer choice fed by exact code-derived statistics."""
+    from ..core.analysis import analyze_order_modification
+
+    stats = collect_order_statistics(table)
+    plan = analyze_order_modification(table.sort_spec, required)
+    n_segments = (
+        stats.segments_for(plan.prefix_len) if plan.prefix_len else 1
+    )
+    n_runs = stats.runs_for(plan.prefix_len, plan.infix_len)
+    return choose_enforcer(
+        table.sort_spec,
+        required,
+        len(table),
+        n_segments=max(n_segments, 1),
+        n_runs=max(n_runs, 1),
+        memory_capacity=memory_capacity,
+        fan_in=fan_in,
+    )

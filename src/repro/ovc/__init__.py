@@ -1,0 +1,50 @@
+"""Offset-value codes: codecs, derivation, and instrumented comparisons.
+
+An offset-value code (OVC) caches the outcome of a row comparison: the
+pair ``(offset, value)`` records that a row agrees with some *base* row
+on its first ``offset`` sort columns and carries ``value`` in the first
+differing column.  OVCs are order-preserving surrogate keys — two rows
+coded against the same base can often be ordered by comparing their
+codes alone, and the loser of such a comparison leaves it with a valid
+code relative to the winner, so comparison effort is never repeated.
+"""
+
+from .stats import ComparisonStats
+from .codes import (
+    DUPLICATE,
+    FENCE,
+    ascending_code,
+    ascending_integer_code,
+    code_to_ovc,
+    descending_integer_code,
+    max_merge,
+    ovc_to_code,
+)
+from .derive import derive_ovcs, derive_table_ovcs, verify_ovcs
+from .compare import (
+    compare_plain,
+    compare_resume,
+    form_code,
+    make_ovc_entry_comparator,
+    make_plain_entry_comparator,
+)
+
+__all__ = [
+    "ComparisonStats",
+    "DUPLICATE",
+    "FENCE",
+    "ascending_code",
+    "ascending_integer_code",
+    "code_to_ovc",
+    "descending_integer_code",
+    "max_merge",
+    "ovc_to_code",
+    "derive_ovcs",
+    "derive_table_ovcs",
+    "verify_ovcs",
+    "compare_plain",
+    "compare_resume",
+    "form_code",
+    "make_ovc_entry_comparator",
+    "make_plain_entry_comparator",
+]

@@ -1,0 +1,221 @@
+"""Instrumented row comparisons, with and without offset-value codes.
+
+The central routine is :func:`compare_resume`: given two rows whose
+ascending tuple codes are relative to the *same base row*, it decides
+their order.  Unequal codes decide immediately (one cheap tuple
+comparison, no column values touched) and — by the order-preserving
+property — the loser's code is already valid relative to the winner.
+Equal codes mean the rows agree with each other through the code's
+offset *plus one* column, so column-by-column comparison resumes after
+that shared prefix, and the fresh comparison effort is cached in a new
+code for the loser.  This mirrors ``strcmp()``/``memcmp()`` with
+starting offsets, as the paper describes.
+
+All comparators count their work in a :class:`ComparisonStats`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+from .codes import DUPLICATE, FENCE
+from .stats import ComparisonStats
+
+
+def compare_plain(
+    keys_a: Sequence, keys_b: Sequence, stats: ComparisonStats
+) -> int:
+    """Lexicographic three-way comparison counting column comparisons."""
+    stats.row_comparisons += 1
+    for va, vb in zip(keys_a, keys_b):
+        stats.column_comparisons += 1
+        if va != vb:
+            return -1 if va < vb else 1
+    return 0
+
+
+def compare_plain_prefix(
+    keys_a: Sequence,
+    keys_b: Sequence,
+    start: int,
+    stop: int,
+    stats: ComparisonStats,
+) -> int:
+    """Three-way comparison over key positions ``[start, stop)``."""
+    stats.row_comparisons += 1
+    for i in range(start, stop):
+        stats.column_comparisons += 1
+        va, vb = keys_a[i], keys_b[i]
+        if va != vb:
+            return -1 if va < vb else 1
+    return 0
+
+
+def form_code(
+    keys_new: Sequence,
+    keys_base: Sequence,
+    arity: int,
+    stats: ComparisonStats,
+    start: int = 0,
+) -> tuple[int, tuple]:
+    """Full comparison of a fresh row against a base, forming its code.
+
+    This is the mainframe CFC ("compare and form codeword") operation:
+    returns ``(relation, code)`` where relation is -1/0/1 for the new
+    row vs. the base and ``code`` is the new row's ascending tuple code
+    relative to the base (``DUPLICATE`` when equal).
+    """
+    stats.row_comparisons += 1
+    for i in range(start, arity):
+        stats.column_comparisons += 1
+        vn, vb = keys_new[i], keys_base[i]
+        if vn != vb:
+            code = (arity - i, vn)
+            return (-1 if vn < vb else 1), code
+    return 0, DUPLICATE
+
+
+def compare_resume(
+    keys_a: Sequence,
+    code_a: tuple,
+    keys_b: Sequence,
+    code_b: tuple,
+    arity: int,
+    stats: ComparisonStats,
+    limit: int | None = None,
+) -> tuple[int, tuple | None]:
+    """OVC comparison of two rows coded against the same base.
+
+    Returns ``(relation, loser_code)``:
+
+    * relation ``-1``/``1``: row a / row b wins; ``loser_code`` is the
+      loser's (possibly unchanged) code relative to the winner.
+    * relation ``0`` with ``loser_code == DUPLICATE``: the rows are
+      equal through all ``arity`` key columns.
+    * relation ``0`` with ``loser_code is None``: the rows are equal
+      through the restricted region ``[0, limit)`` — the caller supplies
+      domain knowledge for what lies beyond (used by the order-
+      modification merge, which never compares infix columns).
+    """
+    stats.ovc_comparisons += 1
+    if code_a != code_b:
+        if code_a < code_b:
+            return -1, code_b
+        return 1, code_a
+    remaining = code_a[0]
+    if remaining == 0:
+        return 0, DUPLICATE
+    if remaining is math.inf:
+        # Two fences: both inputs exhausted.
+        return 0, FENCE
+    # Equal codes: the rows agree with each other on the code's offset
+    # plus the coded column itself; resume right after it.
+    i = arity - remaining + 1
+    stop = arity if limit is None else limit
+    while i < stop:
+        stats.column_comparisons += 1
+        va, vb = keys_a[i], keys_b[i]
+        if va != vb:
+            if va < vb:
+                return -1, (arity - i, vb)
+            return 1, (arity - i, va)
+        i += 1
+    if stop == arity:
+        return 0, DUPLICATE
+    return 0, None
+
+
+def make_ovc_entry_comparator(
+    arity: int,
+    stats: ComparisonStats,
+    limit: int | None = None,
+    on_restricted_tie: Callable | None = None,
+):
+    """Comparator over tournament-tree entries using offset-value codes.
+
+    Entries are duck-typed with attributes ``code`` (ascending tuple
+    code), ``keys`` (projected, normalized key tuple) and ``run`` (input
+    index, used for the stable tie-break).  The comparator returns
+    ``True`` when the first entry wins and stores the loser's refreshed
+    code back into the losing entry.
+
+    ``limit``/``on_restricted_tie`` implement the order-modification
+    merge: comparisons stop at the infix boundary, and ties there are
+    resolved by run index with the loser's code derived from saved
+    run-head codes instead of column comparisons.
+
+    Entries whose ``code`` is ``None`` carry no cached comparison (fresh
+    rows entering run generation); the comparison falls back to column
+    values and *forms* the loser's code — the CFC operation.  Fence
+    entries (``row is None``) lose against everything without counting.
+    """
+
+    def compare(a, b) -> bool:
+        if a.row is None or b.row is None:
+            if a.row is None and b.row is None:
+                return a.run <= b.run
+            return b.row is None
+        stats.row_comparisons += 1
+        if a.code is None or b.code is None:
+            relation, code_ba = form_code(b.keys, a.keys, arity, stats)
+            if relation > 0:
+                b.code = code_ba
+                return True
+            if relation < 0:
+                # First difference is symmetric: a's code relative to b
+                # reuses the offset found while coding b against a.
+                remaining = code_ba[0]
+                a.code = (remaining, a.keys[arity - remaining])
+                return False
+            a_wins = a.run <= b.run
+            (b if a_wins else a).code = DUPLICATE
+            return a_wins
+        relation, loser_code = compare_resume(
+            a.keys, a.code, b.keys, b.code, arity, stats, limit
+        )
+        if relation < 0:
+            b.code = loser_code
+            return True
+        if relation > 0:
+            a.code = loser_code
+            return False
+        # Tie: stable winner is the lower run index.
+        a_wins = a.run <= b.run
+        loser = b if a_wins else a
+        if loser_code is None:
+            # Tie only within the restricted region; domain logic
+            # supplies the loser's code (e.g. derived infix codes).
+            loser.code = on_restricted_tie(a, b, a_wins)
+        else:
+            loser.code = loser_code
+        return a_wins
+
+    return compare
+
+
+def make_plain_entry_comparator(
+    arity: int,
+    stats: ComparisonStats,
+    start: int = 0,
+):
+    """Comparator over tree entries without offset-value codes.
+
+    Used by the paper's baselines: every decision compares column values
+    lexicographically over key positions ``[start, arity)``; ties break
+    by run index (stable merge).  Offset-value codes are never consulted.
+    """
+
+    def compare(a, b) -> bool:
+        if a.row is None or b.row is None:
+            if a.row is None and b.row is None:
+                return a.run <= b.run
+            return b.row is None
+        relation = compare_plain_prefix(a.keys, b.keys, start, arity, stats)
+        if relation < 0:
+            return True
+        if relation > 0:
+            return False
+        return a.run <= b.run
+
+    return compare

@@ -1,0 +1,73 @@
+"""Comparison-effort instrumentation.
+
+The paper's Figure 10 distinguishes *column value comparisons* (actual
+comparisons of column values) from comparisons of offset-value codes,
+which are single integer/tuple comparisons.  Every comparator in this
+library threads a :class:`ComparisonStats` and bumps the matching
+counter, so experiments can report machine-independent work measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class ComparisonStats:
+    """Counters for sorting and merging effort.
+
+    Attributes
+    ----------
+    row_comparisons:
+        Number of row-vs-row decisions (each may involve zero or more
+        column comparisons when offset-value codes decide early).
+    ovc_comparisons:
+        Comparisons of offset-value codes (cheap fixed-size compares).
+    column_comparisons:
+        Three-way comparisons of individual column values — the paper's
+        headline metric.
+    key_extractions:
+        Column values copied out of rows to form new codes.
+    rows_moved:
+        Rows emitted by a sort, merge, or scan operator.
+    """
+
+    row_comparisons: int = 0
+    ovc_comparisons: int = 0
+    column_comparisons: int = 0
+    key_extractions: int = 0
+    rows_moved: int = 0
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def snapshot(self) -> "ComparisonStats":
+        return ComparisonStats(**self.as_dict())
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def __add__(self, other: "ComparisonStats") -> "ComparisonStats":
+        return ComparisonStats(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def __sub__(self, other: "ComparisonStats") -> "ComparisonStats":
+        return ComparisonStats(
+            **{
+                f.name: getattr(self, f.name) - getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def merge(self, other: "ComparisonStats") -> None:
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def __str__(self) -> str:
+        parts = ", ".join(f"{k}={v:,}" for k, v in self.as_dict().items() if v)
+        return f"ComparisonStats({parts or 'empty'})"

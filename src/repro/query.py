@@ -1,0 +1,185 @@
+"""Fluent query facade over the pull-based engine.
+
+A thin, lazy builder so downstream users compose plans without touching
+operator classes directly::
+
+    from repro.query import Query
+
+    transcripts = (
+        Query(students)
+        .join(Query(enrollments).order_by("campus", "student"),
+              on=[("campus", "campus"), ("student", "student")])
+        .group_by(["campus", "student"], [("count", None)])
+        .to_table()
+    )
+
+Everything stays order- and code-aware: ``order_by`` plans through
+:func:`repro.core.modify.modify_sort_order` when the input order is
+related, joins insert enforcers only when needed, and group-by /
+distinct / pivot run in-stream off the codes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from .engine.aggregate import Aggregate, Distinct, GroupBy
+from .engine.merge_join import MergeJoin
+from .engine.misc import Filter, Limit, Project, TopK
+from .engine.operators import Operator
+from .engine.pivot import Pivot
+from .engine.scans import TableScan
+from .engine.set_ops import Except, Intersect, UnionAll, UnionDistinct
+from .engine.sort_op import Sort
+from .model import SortSpec, Table
+
+
+class Query:
+    """A lazily-built operator tree with a chainable interface."""
+
+    def __init__(self, source: Table | Operator) -> None:
+        if isinstance(source, Table):
+            self._op: Operator = TableScan(source)
+        elif isinstance(source, Operator):
+            self._op = source
+        else:
+            raise TypeError(f"cannot query a {type(source).__name__}")
+
+    # -------------------------------------------------------- plumbing
+
+    @property
+    def op(self) -> Operator:
+        return self._op
+
+    @property
+    def schema(self):
+        return self._op.schema
+
+    @property
+    def ordering(self) -> SortSpec | None:
+        return self._op.ordering
+
+    def _wrap(self, op: Operator) -> "Query":
+        q = Query.__new__(Query)
+        q._op = op
+        return q
+
+    # ------------------------------------------------------- operators
+
+    def filter(self, predicate: Callable[[tuple], bool]) -> "Query":
+        """Keep rows satisfying ``predicate`` (codes repaired for free)."""
+        return self._wrap(Filter(self._op, predicate))
+
+    def where(self, column: str, value) -> "Query":
+        """Equality filter on one column."""
+        pos = self._op.schema.index_of(column)
+        return self.filter(lambda row: row[pos] == value)
+
+    def select(self, *columns: str) -> "Query":
+        """Project to the named columns."""
+        return self._wrap(Project(self._op, list(columns)))
+
+    def order_by(self, *columns: str, method: str = "auto") -> "Query":
+        """Enforce a sort order, exploiting the input order if related."""
+        return self._wrap(Sort(self._op, SortSpec.of(*columns), method=method))
+
+    def group_by(
+        self,
+        group_columns: Sequence[str],
+        aggregates: Sequence[tuple] = (("count", None),),
+    ) -> "Query":
+        """In-stream grouping; sorts first when the order is missing."""
+        child = self._op
+        group_spec = SortSpec(group_columns)
+        if child.ordering is None or not child.ordering.satisfies(group_spec):
+            child = Sort(child, group_spec)
+        return self._wrap(GroupBy(child, group_columns, aggregates))
+
+    def aggregate(self, aggregates: Sequence[tuple]) -> "Query":
+        """Whole-input aggregation to a single row."""
+        return self._wrap(Aggregate(self._op, aggregates))
+
+    def distinct(self, key_columns: Sequence[str] | None = None) -> "Query":
+        child = self._op
+        if key_columns is not None:
+            spec = SortSpec(key_columns)
+            if child.ordering is None or not child.ordering.satisfies(spec):
+                child = Sort(child, spec)
+        elif child.ordering is None:
+            raise ValueError("distinct on unsorted input needs key columns")
+        return self._wrap(Distinct(child, key_columns))
+
+    def limit(self, n: int) -> "Query":
+        return self._wrap(Limit(self._op, n))
+
+    def top(self, k: int, *order_columns: str) -> "Query":
+        return self._wrap(TopK(self._op, SortSpec.of(*order_columns), k))
+
+    def pivot(
+        self,
+        group_columns: Sequence[str],
+        pivot_column: str,
+        value_column: str,
+        pivot_values: Sequence,
+        agg: str = "sum",
+    ) -> "Query":
+        child = self._op
+        needed = SortSpec(tuple(group_columns) + (pivot_column,))
+        if child.ordering is None or not child.ordering.satisfies(needed):
+            child = Sort(child, needed)
+        return self._wrap(
+            Pivot(child, group_columns, pivot_column, value_column,
+                  pivot_values, agg)
+        )
+
+    def join(
+        self,
+        other: "Query | Table",
+        on: Sequence[tuple[str, str]],
+        method: str = "auto",
+    ) -> "Query":
+        """Merge equi-join; both sides get order enforcers as needed."""
+        right = other if isinstance(other, Query) else Query(other)
+        left_keys = [l for l, _r in on]
+        right_keys = [r for _l, r in on]
+        left_op, right_op = self._op, right._op
+        lspec, rspec = SortSpec(left_keys), SortSpec(right_keys)
+        if left_op.ordering is None or not left_op.ordering.satisfies(lspec):
+            left_op = Sort(left_op, lspec, method=method)
+        if right_op.ordering is None or not right_op.ordering.satisfies(rspec):
+            right_op = Sort(right_op, rspec, method=method)
+        return self._wrap(MergeJoin(left_op, right_op, left_keys, right_keys))
+
+    def union_all(self, other: "Query | Table") -> "Query":
+        return self._wrap(UnionAll(self._op, _as_op(other)))
+
+    def union(self, other: "Query | Table") -> "Query":
+        return self._wrap(UnionDistinct(self._op, _as_op(other)))
+
+    def intersect(self, other: "Query | Table") -> "Query":
+        return self._wrap(Intersect(self._op, _as_op(other)))
+
+    def except_(self, other: "Query | Table") -> "Query":
+        return self._wrap(Except(self._op, _as_op(other)))
+
+    # ------------------------------------------------------- terminals
+
+    def rows(self) -> list[tuple]:
+        return self._op.rows()
+
+    def to_table(self) -> Table:
+        return self._op.to_table()
+
+    def explain(self) -> str:
+        return self._op.explain()
+
+    def __iter__(self):
+        return iter(self._op)
+
+
+def _as_op(other: "Query | Table") -> Operator:
+    if isinstance(other, Query):
+        return other._op
+    if isinstance(other, Table):
+        return TableScan(other)
+    raise TypeError(f"cannot combine with {type(other).__name__}")

@@ -1,0 +1,160 @@
+"""Run generation for external merge sort.
+
+Two classic strategies:
+
+* **Replacement selection** — a tournament tree of ``capacity`` entries
+  streams rows through memory; rows smaller than the last output are
+  deferred to the next run, so runs average twice the memory size on
+  random input.  The run number is treated as an artificial leading key
+  column, which lets the ordinary offset-value code machinery cover the
+  run logic: a fresh row's code relative to the row it replaces (the
+  winner just popped, i.e. the last output) is formed once on entry —
+  the mainframe CFC operation — and cached from then on.
+* **Load-sort-store** — fill memory, sort (tournament sort, producing
+  codes), emit the run; runs equal the memory size.
+
+Both return runs as ``(rows, ovcs)`` pairs ready for
+:func:`repro.sorting.merge.kway_merge`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from ..ovc.codes import DUPLICATE, code_to_ovc
+from ..ovc.compare import form_code, make_ovc_entry_comparator
+from ..ovc.stats import ComparisonStats
+from .internal import tournament_sort
+from .merge import _key_projector
+from .tournament import Entry, TreeOfLosers
+
+
+def generate_runs_load_sort(
+    rows: Sequence[tuple],
+    capacity: int,
+    key_positions: Sequence[int],
+    stats: ComparisonStats,
+    directions: Sequence[bool] | None = None,
+    use_ovc: bool = True,
+) -> list[tuple[list[tuple], list[tuple] | None]]:
+    """Quicksort-style run generation: sort memory loads one at a time."""
+    if capacity < 1:
+        raise ValueError("capacity must be at least 1")
+    runs: list[tuple[list[tuple], list[tuple] | None]] = []
+    for start in range(0, len(rows), capacity):
+        chunk = rows[start : start + capacity]
+        sorted_rows, ovcs = tournament_sort(
+            chunk, key_positions, stats, directions, use_ovc
+        )
+        runs.append((sorted_rows, ovcs))
+    return runs
+
+
+def generate_runs_replacement_selection(
+    rows: Iterable[tuple],
+    capacity: int,
+    key_positions: Sequence[int],
+    stats: ComparisonStats,
+    directions: Sequence[bool] | None = None,
+) -> list[tuple[list[tuple], list[tuple]]]:
+    """Replacement selection with a tournament tree and offset-value codes.
+
+    The sort key is extended with a leading artificial run-number
+    column, so the tree's comparator needs no special run handling —
+    offsets simply shift by one.  Output codes fall out of the tree as
+    usual and are shifted back to the real key's arity on emission.
+    """
+    if capacity < 1:
+        raise ValueError("capacity must be at least 1")
+    positions = tuple(key_positions)
+    arity = len(positions)
+    ext_arity = arity + 1
+    project = _key_projector(positions, directions)
+    compare = make_ovc_entry_comparator(ext_arity, stats)
+
+    source: Iterator[tuple] = iter(rows)
+
+    # Fill memory.  Initial entries carry no codes; their first
+    # comparison inside the tree forms them (all start in run 0, so any
+    # pair shares the imaginary common base).
+    initial: list[Entry] = []
+    for slot in range(capacity):
+        row = next(source, None)
+        if row is None:
+            break
+        initial.append(Entry((0,) + project(row), None, row, slot))
+    if not initial:
+        return []
+
+    tree_box: list[TreeOfLosers] = []
+
+    def admit(row: tuple, slot: int) -> Entry:
+        """Assign a run number and form the fresh row's code (CFC).
+
+        The base is the winner being popped right now — the row this
+        fresh row replaces, which is also the most recent output, and
+        the row relative to which every loser on the refill path is
+        coded.
+        """
+        keys = project(row)
+        base = tree_box[0].last_winner.keys
+        relation, code = form_code((base[0],) + keys, base, ext_arity, stats)
+        if relation < 0:
+            # Smaller than the last output: defer to the next run.  The
+            # artificial run-number column differs at offset 0.
+            run_nr = base[0] + 1
+            return Entry((run_nr,) + keys, (ext_arity, run_nr), row, slot)
+        if relation == 0:
+            code = DUPLICATE
+        return Entry((base[0],) + keys, code, row, slot)
+
+    def feeder(slot: int) -> Iterator[Entry]:
+        yield initial[slot]
+        while True:
+            row = next(source, None)
+            if row is None:
+                return
+            yield admit(row, slot)
+
+    tree = TreeOfLosers([feeder(i) for i in range(len(initial))], compare)
+    tree_box.append(tree)
+
+    runs: list[tuple[list[tuple], list[tuple]]] = []
+    current_rows: list[tuple] = []
+    current_ovcs: list[tuple] = []
+    current_run_nr = 0
+    last_keys: tuple | None = None
+
+    for entry in tree:
+        run_nr = entry.keys[0]
+        if run_nr != current_run_nr:
+            if current_rows:
+                runs.append((current_rows, current_ovcs))
+                current_rows, current_ovcs = [], []
+            current_run_nr = run_nr
+        current_rows.append(entry.row)
+        stats.rows_moved += 1
+        if not current_ovcs:
+            # First row of a run: coded against the imaginary lowest row.
+            current_ovcs.append((0, entry.keys[1]))
+        elif entry.code is None:
+            _rel, code = form_code(entry.keys, last_keys, ext_arity, stats)
+            current_ovcs.append(_shift_ovc(code_to_ovc(code, ext_arity), arity))
+        else:
+            current_ovcs.append(_shift_ovc(code_to_ovc(entry.code, ext_arity), arity))
+        last_keys = entry.keys
+    if current_rows:
+        runs.append((current_rows, current_ovcs))
+    return runs
+
+
+def _shift_ovc(ext_ovc: tuple, arity: int) -> tuple:
+    """Drop the artificial run-number column from a paper-form code."""
+    offset, value = ext_ovc
+    if offset >= arity + 1:
+        return (arity, 0)
+    if offset == 0:
+        # "Differs in run number" appears only on a run's first row,
+        # which the caller codes explicitly; defensive fallback.
+        return (0, value)
+    return (offset - 1, value)

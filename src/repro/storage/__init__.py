@@ -1,0 +1,21 @@
+"""Storage substrates: paged spill files, a prefix-truncated row store,
+an RLE column store, a B+-tree, and an LSM-style partitioned forest.
+"""
+
+from .pages import IoStats, PageManager, SpilledRun
+from .rowstore import PrefixTruncatedStore
+from .colstore import ColumnStore
+from .btree import BTree
+from .lsm import LsmForest
+from .partitioned_btree import PartitionedBTree
+
+__all__ = [
+    "IoStats",
+    "PageManager",
+    "SpilledRun",
+    "PrefixTruncatedStore",
+    "ColumnStore",
+    "BTree",
+    "LsmForest",
+    "PartitionedBTree",
+]

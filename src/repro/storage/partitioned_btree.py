@@ -1,0 +1,119 @@
+"""Partitioned b-trees (Graefe 2011/2024, referenced as [9, 12]).
+
+A partitioned b-tree stores multiple sorted partitions inside a single
+b-tree by prefixing every key with an artificial partition number —
+new data lands in fresh partitions without disturbing old ones, and
+queries merge across partitions, exactly like an LSM forest but inside
+one storage structure.
+
+For hypothesis 8, each partition is a pre-existing run over the full
+key domain: scans per partition come straight from range scans on the
+partition number, with offset-value codes supplied by the tree's
+leaves (their leading artificial column shifts offsets by one).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..model import Schema, SortSpec, Table
+from ..ovc.stats import ComparisonStats
+from ..sorting.merge import kway_merge
+from .btree import BTree
+
+PARTITION_COLUMN = "__partition"
+
+
+class PartitionedBTree:
+    """One b-tree holding many sorted partitions."""
+
+    def __init__(self, schema: Schema, sort_spec: SortSpec, order: int = 64) -> None:
+        if PARTITION_COLUMN in schema:
+            raise ValueError(f"{PARTITION_COLUMN} is reserved")
+        self.schema = schema
+        self.sort_spec = sort_spec
+        self._inner_schema = Schema((PARTITION_COLUMN,) + schema.columns)
+        self._inner_spec = SortSpec(
+            (PARTITION_COLUMN,) + tuple(sort_spec.columns)
+        )
+        self._tree = BTree(self._inner_schema, self._inner_spec, order)
+        self._next_partition = 0
+        self._positions = sort_spec.positions(schema)
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    @property
+    def partition_count(self) -> int:
+        return self._next_partition
+
+    @property
+    def node_reads(self) -> int:
+        return self._tree.node_reads
+
+    def ingest(
+        self, rows, stats: ComparisonStats | None = None
+    ) -> int:
+        """Sort a batch into a fresh partition; returns its number."""
+        from ..sorting.internal import tournament_sort
+
+        stats = stats if stats is not None else ComparisonStats()
+        partition = self._next_partition
+        self._next_partition += 1
+        sorted_rows, _ovcs = tournament_sort(
+            list(rows), self._positions, stats, self.sort_spec.directions
+        )
+        for row in sorted_rows:
+            self._tree.insert((partition,) + tuple(row), stats)
+        return partition
+
+    def partition_scan(self, partition: int) -> Iterator[tuple]:
+        """Rows of one partition, in sort order (codes via
+        :meth:`partition_runs`, which strips the artificial column)."""
+        for inner_row in self._tree.range_scan((partition,), (partition + 1,)):
+            yield inner_row[1:]
+
+    def partition_runs(self) -> list[tuple[list[tuple], list[tuple]]]:
+        """All partitions as ``(rows, ovcs)`` runs for merging.
+
+        Codes come from the inner tree's leaf codes with the artificial
+        column stripped: offsets above zero shift down by one, and each
+        partition's first row re-anchors as a run head.
+        """
+        runs: dict[int, tuple[list[tuple], list[tuple]]] = {}
+        arity = self.sort_spec.arity
+        for inner_row, (offset, value) in self._tree.scan():
+            partition = inner_row[0]
+            row = inner_row[1:]
+            rows, ovcs = runs.setdefault(partition, ([], []))
+            if not rows or offset == 0:
+                # Partition head (or tree head): re-anchor.
+                ovcs.append((0, row[self._positions[0]]))
+            elif offset > arity:
+                ovcs.append((arity, 0))
+            else:
+                ovcs.append((offset - 1, value))
+            rows.append(row)
+        return [runs[p] for p in sorted(runs)]
+
+    def scan_merged(self, stats: ComparisonStats | None = None) -> Table:
+        """Merge all partitions into one sorted stream with codes."""
+        stats = stats if stats is not None else ComparisonStats()
+        runs = self.partition_runs()
+        if not runs:
+            return Table(self.schema, [], self.sort_spec, [])
+        rows, ovcs = kway_merge(
+            runs, self._positions, stats, self.sort_spec.directions
+        )
+        return Table(self.schema, rows, self.sort_spec, ovcs)
+
+    def to_forest(self):
+        """View as an LSM forest (shares the order-modification path)."""
+        from .lsm import LsmForest
+
+        forest = LsmForest(self.schema, self.sort_spec)
+        for rows, ovcs in self.partition_runs():
+            forest.add_partition(
+                Table(self.schema, rows, self.sort_spec, ovcs)
+            )
+        return forest

@@ -1,0 +1,23 @@
+"""Workload generators: the paper's experimental data sets and the
+enrollment (students x courses) motivating scenario.
+"""
+
+from .generators import (
+    fig10_table,
+    fig11_table,
+    random_sorted_table,
+    random_table,
+)
+from .enrollment import EnrollmentWorkload, make_enrollment_workload
+from .retail import RetailWorkload, make_retail_workload
+
+__all__ = [
+    "fig10_table",
+    "fig11_table",
+    "random_sorted_table",
+    "random_table",
+    "EnrollmentWorkload",
+    "make_enrollment_workload",
+    "RetailWorkload",
+    "make_retail_workload",
+]

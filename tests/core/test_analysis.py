@@ -1,0 +1,150 @@
+"""Table 1: compile-time case detection for all eight prototype cases
+plus graceful fallbacks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analysis import Strategy, analyze_order_modification
+from repro.model import SortSpec
+
+
+def spec(*names):
+    return SortSpec.of(*names)
+
+
+def analyze(inp, out):
+    return analyze_order_modification(spec(*inp), spec(*out))
+
+
+class TestTable1Cases:
+    def test_case0_identity(self):
+        plan = analyze(("A", "B"), ("A", "B"))
+        assert plan.strategy is Strategy.NOOP
+        assert plan.case_id == 0
+
+    def test_case0_prefix(self):
+        plan = analyze(("A", "B"), ("A",))
+        assert plan.strategy is Strategy.NOOP
+        assert plan.case_id == 0
+
+    def test_case1_extension(self):
+        plan = analyze(("A",), ("A", "B"))
+        assert plan.strategy is Strategy.SEGMENT_SORT
+        assert plan.case_id == 1
+        assert plan.prefix_len == 1
+
+    def test_case2_suffix(self):
+        plan = analyze(("A", "B"), ("B",))
+        assert plan.strategy is Strategy.MERGE_RUNS
+        assert plan.case_id == 2
+        assert plan.infix_dropped
+        assert plan.infix.names == ("A",)
+        assert plan.merge_keys.names == ("B",)
+
+    def test_case3_rotation(self):
+        plan = analyze(("A", "B"), ("B", "A"))
+        assert plan.strategy is Strategy.MERGE_RUNS
+        assert plan.case_id == 3
+        assert not plan.infix_dropped
+
+    def test_case4(self):
+        plan = analyze(("A", "B", "C"), ("A", "C"))
+        assert plan.strategy is Strategy.COMBINED
+        assert plan.case_id == 4
+        assert plan.infix_dropped
+        assert plan.prefix_len == 1
+
+    def test_case5(self):
+        plan = analyze(("A", "B", "C"), ("A", "C", "B"))
+        assert plan.strategy is Strategy.COMBINED
+        assert plan.case_id == 5
+        assert plan.infix.names == ("B",)
+        assert plan.merge_keys.names == ("C",)
+
+    def test_case6(self):
+        plan = analyze(("A", "B", "C", "D"), ("A", "C", "D"))
+        assert plan.strategy is Strategy.COMBINED
+        assert plan.case_id == 6
+        assert plan.infix_dropped
+        # The trailing column folds into the merge keys.
+        assert plan.merge_keys.names == ("C", "D")
+
+    def test_case7(self):
+        plan = analyze(("A", "B", "C", "D"), ("A", "C", "B", "D"))
+        assert plan.strategy is Strategy.COMBINED
+        assert plan.case_id == 7
+        assert plan.tail.names == ("D",)
+
+
+class TestGeneralization:
+    def test_multi_column_lists(self):
+        """Letters may be lists: A=(a1,a2), B=(b1,b2), C=(c1)."""
+        plan = analyze(
+            ("a1", "a2", "b1", "b2", "c1"), ("a1", "a2", "c1", "b1", "b2")
+        )
+        assert plan.strategy is Strategy.COMBINED
+        assert plan.prefix_len == 2
+        assert plan.infix.names == ("b1", "b2")
+        assert plan.merge_keys.names == ("c1",)
+
+    def test_intro_example_abcd_to_acbd(self):
+        """The introduction's A,B,C,D -> A,C,B,D example."""
+        plan = analyze(("A", "B", "C", "D"), ("A", "C", "B", "D"))
+        assert plan.strategy is Strategy.COMBINED
+
+    def test_directions_must_match_for_prefix(self):
+        plan = analyze_order_modification(
+            SortSpec.of("A DESC", "B"),
+            SortSpec.of("A", "B"),
+            allow_backward=False,
+        )
+        assert plan.prefix_len == 0
+        assert plan.strategy is Strategy.FULL_SORT
+
+    def test_direction_mismatch_recovered_by_backward_scan(self):
+        # Reading (A DESC, B) backwards gives (A, B DESC): the desired
+        # (A, B) then shares the prefix A — segmented sorting applies.
+        plan = analyze_order_modification(
+            SortSpec.of("A DESC", "B"), SortSpec.of("A", "B")
+        )
+        assert plan.backward
+        assert plan.strategy is Strategy.SEGMENT_SORT
+        assert plan.prefix_len == 1
+
+    def test_matching_descending_prefix(self):
+        plan = analyze_order_modification(
+            SortSpec.of("A DESC", "B", "C"), SortSpec.of("A DESC", "C", "B")
+        )
+        assert plan.strategy is Strategy.COMBINED
+        assert plan.prefix_len == 1
+
+    def test_shared_prefix_only_falls_back_to_segment_sort(self):
+        plan = analyze(("A", "B", "C"), ("A", "C", "X"))
+        assert plan.strategy is Strategy.SEGMENT_SORT
+        assert plan.prefix_len == 1
+
+    def test_unrelated_orders_full_sort(self):
+        plan = analyze(("A", "B"), ("X", "Y"))
+        assert plan.strategy is Strategy.FULL_SORT
+
+    def test_extra_existing_tail_is_harmless(self):
+        # Existing (A,B,C,D,E) -> desired (A,C,B): D,E beyond the
+        # desired key merely add sortedness.
+        plan = analyze(("A", "B", "C", "D", "E"), ("A", "C", "B"))
+        assert plan.strategy is Strategy.COMBINED
+        assert plan.merge_keys.names == ("C",)
+        assert plan.tail.names == ()
+
+    def test_dropped_infix_with_partial_block(self):
+        # (A,B,C,D) -> (A,C): desired continues inside the existing
+        # order but stops early.
+        plan = analyze(("A", "B", "C", "D"), ("A", "C"))
+        assert plan.strategy is Strategy.COMBINED
+        assert plan.infix_dropped
+        assert plan.merge_keys.names == ("C",)
+
+    def test_describe_is_readable(self):
+        plan = analyze(("A", "B", "C"), ("A", "C", "B"))
+        text = plan.describe()
+        assert "combined" in text and "case=5" in text

@@ -1,0 +1,82 @@
+"""Tests for the cost model behind the auto strategy choice."""
+
+from __future__ import annotations
+
+from repro.core.analysis import Strategy, analyze_order_modification
+from repro.core.cost import CostModel, estimate_costs, sort_comparisons
+from repro.model import SortSpec
+
+
+def plan(inp, out):
+    return analyze_order_modification(SortSpec.of(*inp), SortSpec.of(*out))
+
+
+def test_sort_comparisons_monotonic():
+    assert sort_comparisons(0) == 0
+    assert sort_comparisons(1) == 0
+    assert sort_comparisons(1 << 10) < sort_comparisons(1 << 20)
+
+
+def test_combined_beats_alternatives_with_structure():
+    model = CostModel(
+        n_rows=1 << 20, n_segments=1 << 8, n_runs=1 << 14
+    )
+    combined = model.combined().total
+    assert combined < model.segment_sort().total
+    assert combined < model.merge_runs().total
+    assert combined < model.full_sort().total
+
+
+def test_merge_runs_degrades_with_many_runs():
+    few = CostModel(n_rows=1 << 16, n_segments=1, n_runs=64, fan_in=128)
+    many = CostModel(n_rows=1 << 16, n_segments=1, n_runs=1 << 15, fan_in=128)
+    assert few.merge_runs().total < many.merge_runs().total
+
+
+def test_segment_sort_improves_with_more_segments():
+    coarse = CostModel(n_rows=1 << 16, n_segments=2, n_runs=4)
+    fine = CostModel(n_rows=1 << 16, n_segments=1 << 10, n_runs=1 << 11)
+    assert fine.segment_sort().total < coarse.segment_sort().total
+
+
+def test_external_sort_charges_io():
+    small = CostModel(n_rows=1 << 10, n_segments=1, n_runs=1, memory_capacity=1 << 20)
+    big = CostModel(n_rows=1 << 22, n_segments=1, n_runs=1, memory_capacity=1 << 16)
+    assert small.full_sort().io_pages == 0
+    assert big.full_sort().io_pages > 0
+
+
+def test_segmenting_can_remove_io_entirely():
+    """Hypothesis 1: segments below memory turn an external sort into
+    internal sorts — visible as the I/O term vanishing."""
+    n = 1 << 22
+    external = CostModel(n, 1, 1, memory_capacity=1 << 16).full_sort()
+    segmented = CostModel(n, 1 << 8, 1 << 8, memory_capacity=1 << 16).segment_sort()
+    assert external.io_pages > 0
+    assert segmented.io_pages == 0
+    assert segmented.total < external.total
+
+
+def test_estimate_costs_filters_by_plan():
+    p = plan(("A", "B"), ("B", "A"))  # no shared prefix
+    strategies = {e.strategy for e in estimate_costs(p, 1000, 1, 10)}
+    assert Strategy.MERGE_RUNS in strategies
+    assert Strategy.SEGMENT_SORT not in strategies
+    assert Strategy.COMBINED not in strategies
+
+    p = plan(("A", "B", "C"), ("A", "C", "B"))
+    strategies = {e.strategy for e in estimate_costs(p, 1000, 10, 100)}
+    assert {
+        Strategy.FULL_SORT,
+        Strategy.SEGMENT_SORT,
+        Strategy.MERGE_RUNS,
+        Strategy.COMBINED,
+    } <= strategies
+
+
+def test_noop_costs_nothing():
+    p = plan(("A", "B"), ("A",))
+    estimates = estimate_costs(p, 10**6, 1, 1)
+    assert len(estimates) == 1
+    assert estimates[0].strategy is Strategy.NOOP
+    assert estimates[0].total == 0

@@ -1,0 +1,63 @@
+"""Golden comparison-count regressions.
+
+Exact counts on fixed seeds pin down the comparison machinery: any
+change that silently adds (or hides) work fails here first.  If a
+deliberate algorithmic improvement shifts a number, update the golden
+value in the same commit and say why.
+"""
+
+from __future__ import annotations
+
+from repro.core.modify import modify_sort_order
+from repro.model import SortSpec
+from repro.ovc.stats import ComparisonStats
+from repro.workloads.generators import fig10_table, fig11_table
+
+
+def _counts(table, spec, method, use_ovc=True):
+    stats = ComparisonStats()
+    modify_sort_order(table, spec, method=method, use_ovc=use_ovc, stats=stats)
+    return stats
+
+
+def test_paper_example_counts():
+    from ..conftest import paper_example_table
+
+    stats = _counts(
+        paper_example_table(), SortSpec.of("A", "C", "B"), "combined"
+    )
+    assert stats.row_comparisons == 7
+    assert stats.ovc_comparisons == 7
+    assert stats.column_comparisons == 0
+    assert stats.key_extractions == 5  # one per run head (incl. 2 segment heads of 1 row)
+    assert stats.rows_moved == 9  # wave output (dup rows ride along their carrier)
+
+
+def test_fig10_cell_counts_seed0():
+    table = fig10_table(4096, 4, decide="last", n_runs=64, seed=0)
+    spec = SortSpec(
+        tuple(f"B{i}" for i in range(4)) + tuple(f"A{i}" for i in range(4))
+    )
+    with_codes = _counts(table, spec, "merge_runs", use_ovc=True)
+    without = _counts(table, spec, "merge_runs", use_ovc=False)
+    assert with_codes.column_comparisons == 189
+    assert without.column_comparisons == 113_612
+    assert with_codes.row_comparisons == 15_402
+    assert without.row_comparisons == 28_403
+
+
+def test_fig11_cell_counts_seed0():
+    table = fig11_table(4096, 16, list_len=4, seed=0)
+    spec = SortSpec(
+        tuple(f"A{i}" for i in range(4))
+        + tuple(f"C{i}" for i in range(4))
+        + tuple(f"B{i}" for i in range(4))
+    )
+    combined = _counts(table, spec, "combined")
+    merge_only = _counts(table, spec, "merge_runs")
+    segment_only = _counts(table, spec, "segment_sort")
+    # Hypothesis 9 at fixed seed, exact.
+    assert combined.row_comparisons < merge_only.row_comparisons
+    assert combined.row_comparisons < segment_only.row_comparisons
+    assert combined.row_comparisons == 10_280
+    assert combined.column_comparisons == 720

@@ -1,0 +1,92 @@
+"""Tests for the sort-based pivot operator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.pivot import Pivot
+from repro.engine.scans import TableScan
+from repro.model import Schema, SortSpec, Table
+from repro.ovc.derive import verify_ovcs
+
+SCHEMA = Schema.of("region", "quarter", "amount")
+SPEC = SortSpec.of("region", "quarter", "amount")
+
+
+def scan(rows):
+    table = Table(SCHEMA, sorted(rows), SPEC)
+    table.with_ovcs()
+    return TableScan(table)
+
+
+def test_basic_pivot():
+    rows = [
+        ("east", 1, 10),
+        ("east", 1, 5),
+        ("east", 2, 7),
+        ("west", 2, 3),
+    ]
+    op = Pivot(scan(rows), ["region"], "quarter", "amount", [1, 2], agg="sum")
+    assert op.schema.columns == ("region", "quarter_1", "quarter_2")
+    out = list(op)
+    assert [r for r, _o in out] == [("east", 15, 7), ("west", None, 3)]
+    rows_only = [r[:1] for r, _o in out]
+    assert verify_ovcs(rows_only, [o for _r, o in out], (0,))
+
+
+def test_pivot_boundaries_from_codes_only():
+    rows = [("a", q, v) for q in (1, 2, 3) for v in range(20)]
+    op = Pivot(scan(rows), ["region"], "quarter", "amount", [1, 2, 3])
+    list(op)
+    assert op.stats.column_comparisons == 0
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["n", "s"]),
+            st.integers(1, 4),
+            st.integers(0, 9),
+        ),
+        max_size=40,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_pivot_matches_reference(rows):
+    op = Pivot(
+        scan(rows), ["region"], "quarter", "amount", [1, 2, 3, 4], agg="sum"
+    )
+    got = {r[0]: r[1:] for r, _o in op}
+    from collections import defaultdict
+
+    expected: dict = defaultdict(lambda: [None] * 4)
+    for region, quarter, amount in rows:
+        cur = expected[region][quarter - 1]
+        expected[region][quarter - 1] = amount if cur is None else cur + amount
+    assert got == {k: tuple(v) for k, v in expected.items()}
+
+
+def test_pivot_count_and_max():
+    rows = [("a", 1, 10), ("a", 1, 20), ("a", 2, 5)]
+    counts = Pivot(scan(rows), ["region"], "quarter", "amount", [1, 2], agg="count")
+    assert counts.rows() == [("a", 2, 1)]
+    maxes = Pivot(scan(rows), ["region"], "quarter", "amount", [1, 2], agg="max")
+    assert maxes.rows() == [("a", 20, 5)]
+
+
+def test_unexpected_pivot_value_raises():
+    op = Pivot(scan([("a", 3, 1)]), ["region"], "quarter", "amount", [1, 2])
+    with pytest.raises(ValueError, match="unexpected pivot value"):
+        list(op)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        Pivot(scan([]), ["region"], "quarter", "amount", [1, 1])
+    with pytest.raises(ValueError):
+        Pivot(scan([]), ["region"], "quarter", "amount", [1], agg="median")
+    unsorted = TableScan(Table(SCHEMA, []))
+    with pytest.raises(ValueError):
+        Pivot(unsorted, ["region"], "quarter", "amount", [1])

@@ -1,0 +1,123 @@
+"""Join-order DP with interesting orderings (hypothesis 10)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model import SortSpec
+from repro.optimizer.join_planning import (
+    JoinEdge,
+    Relation,
+    plan_joins,
+)
+
+
+def spec(*names):
+    return SortSpec.of(*names)
+
+
+def enrollment_catalog(single_index: bool = True):
+    """Students, courses, and the enrollment table with one stored
+    index on (course, student) — or two, for the traditional design."""
+    enrollment_orders = [spec("e.course", "e.student")]
+    if not single_index:
+        enrollment_orders.append(spec("e.student", "e.course"))
+    return [
+        Relation(
+            "students", 10_000, (spec("s.student"),),
+            unique_keys=(frozenset({"s.student"}),),
+        ),
+        Relation(
+            "courses", 500, (spec("c.course"),),
+            unique_keys=(frozenset({"c.course"}),),
+        ),
+        Relation("enrollments", 200_000, tuple(enrollment_orders)),
+    ], [
+        JoinEdge(
+            "students", "enrollments", ("s.student",), ("e.student",),
+            selectivity=1 / 10_000,
+        ),
+        JoinEdge(
+            "courses", "enrollments", ("c.course",), ("e.course",),
+            selectivity=1 / 500,
+        ),
+    ]
+
+
+def test_two_table_join_uses_existing_order():
+    relations = [
+        Relation("a", 1000, (spec("a.k"),)),
+        Relation("b", 1000, (spec("b.k"),)),
+    ]
+    edges = [JoinEdge("a", "b", ("a.k",), ("b.k",))]
+    plan = plan_joins(relations, edges)
+    assert "sorted/sorted" in plan.description
+    # Cost is just the merge itself.
+    assert plan.cost == pytest.approx(1000 + 1000 + plan.rows)
+
+
+def test_rotation_enforcer_cheaper_than_sort():
+    """The right side is sorted on (k2, k1) but joined on (k1, k2):
+    modification must beat the sort-based plan."""
+    relations = [
+        Relation("a", 50_000, (spec("a.k1", "a.k2"),)),
+        Relation("b", 50_000, (spec("b.k2", "b.k1"),)),
+    ]
+    edges = [
+        JoinEdge("a", "b", ("a.k1", "a.k2"), ("b.k1", "b.k2"))
+    ]
+    with_mod = plan_joins(relations, edges, modification_allowed=True)
+    without = plan_joins(relations, edges, modification_allowed=False)
+    assert with_mod.cost < without.cost
+    assert "modify" in with_mod.description
+    assert "modify" not in without.description
+
+
+def test_three_table_enrollment_plan():
+    relations, edges = enrollment_catalog(single_index=True)
+    plan = plan_joins(relations, edges)
+    assert plan.relations == {"students", "courses", "enrollments"}
+    # One of the two joins rides the stored order; the other (or the
+    # intermediate result) needs at most a modification.
+    assert "sorted" in plan.description
+
+
+def test_hypothesis10_modification_narrows_the_index_gap():
+    """With one stored index, allowing order modification must recover
+    a cost close to the two-index design."""
+    one_idx, edges = enrollment_catalog(single_index=True)
+    two_idx, _ = enrollment_catalog(single_index=False)
+
+    smart = plan_joins(one_idx, edges, modification_allowed=True)
+    naive = plan_joins(one_idx, edges, modification_allowed=False)
+    luxury = plan_joins(two_idx, edges, modification_allowed=True)
+
+    assert smart.cost < naive.cost
+    assert luxury.cost <= smart.cost
+    # Modification recovers most of the benefit of the second index.
+    gap_with = smart.cost - luxury.cost
+    gap_without = naive.cost - luxury.cost
+    assert gap_with < gap_without / 2
+
+
+def test_disconnected_graph_rejected():
+    relations = [
+        Relation("a", 10, (spec("a.k"),)),
+        Relation("b", 10, (spec("b.k"),)),
+    ]
+    with pytest.raises(ValueError):
+        plan_joins(relations, [])
+
+
+def test_duplicate_names_rejected():
+    r = Relation("a", 10, (spec("a.k"),))
+    with pytest.raises(ValueError):
+        plan_joins([r, r], [])
+
+
+def test_unknown_edge_relation_rejected():
+    relations = [Relation("a", 10, (spec("a.k"),))]
+    with pytest.raises(ValueError):
+        plan_joins(
+            relations, [JoinEdge("a", "zz", ("a.k",), ("zz.k",))]
+        )

@@ -1,0 +1,126 @@
+"""Tests for interesting orderings and enforcer planning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analysis import Strategy
+from repro.engine.scans import TableScan
+from repro.model import Schema, SortSpec, Table
+from repro.optimizer.orderings import (
+    OrderingContext,
+    reduce_spec,
+    satisfies_with_context,
+)
+from repro.optimizer.planner import choose_enforcer, plan_merge_join
+
+
+def spec(*names):
+    return SortSpec.of(*names)
+
+
+class TestReduction:
+    def test_constants_removed(self):
+        ctx = OrderingContext.of(constants=["B"])
+        assert reduce_spec(spec("A", "B", "C"), ctx) == spec("A", "C")
+
+    def test_fd_determined_columns_removed(self):
+        # A is a key determining B: ordering (A, B) reduces to (A).
+        ctx = OrderingContext.of(fds=[(["A"], ["B"])])
+        assert reduce_spec(spec("A", "B"), ctx) == spec("A")
+
+    def test_leading_constant_removed(self):
+        ctx = OrderingContext.of(constants=["A"])
+        assert reduce_spec(spec("A", "B"), ctx) == spec("B")
+
+    def test_closure_is_transitive(self):
+        ctx = OrderingContext.of(fds=[(["A"], ["B"]), (["B"], ["C"])])
+        assert ctx.closure(frozenset({"A"})) == frozenset({"A", "B", "C"})
+
+
+class TestSatisfaction:
+    def test_plain_prefix(self):
+        assert satisfies_with_context(spec("A", "B"), spec("A"))
+        assert not satisfies_with_context(spec("A"), spec("A", "B"))
+
+    def test_constant_fills_gap(self):
+        # Sorted on (A, C); require (A, B, C) where B = const.
+        ctx = OrderingContext.of(constants=["B"])
+        assert satisfies_with_context(spec("A", "C"), spec("A", "B", "C"), ctx)
+
+    def test_fd_closure_fills_suffix(self):
+        # Sorted on (A); require (A, B) where A determines B.
+        ctx = OrderingContext.of(fds=[(["A"], ["B"])])
+        assert satisfies_with_context(spec("A"), spec("A", "B"), ctx)
+
+    def test_none_provided(self):
+        assert not satisfies_with_context(None, spec("A"))
+        ctx = OrderingContext.of(constants=["A"])
+        assert satisfies_with_context(None, spec("A"), ctx)
+
+    def test_direction_mismatch_not_satisfied(self):
+        assert not satisfies_with_context(spec("A DESC"), spec("A"))
+        assert satisfies_with_context(spec("A DESC"), spec("A DESC"))
+
+
+class TestEnforcerChoice:
+    def test_noop_when_satisfied(self):
+        choice = choose_enforcer(spec("A", "B"), spec("A"), n_rows=1000)
+        assert choice.strategy is Strategy.NOOP
+        assert choice.is_free
+
+    def test_full_sort_when_unrelated(self):
+        choice = choose_enforcer(None, spec("A"), n_rows=1000)
+        assert choice.strategy is Strategy.FULL_SORT
+
+    def test_modification_wins_over_full_sort(self):
+        choice = choose_enforcer(
+            spec("A", "B", "C"),
+            spec("A", "C", "B"),
+            n_rows=1 << 20,
+            n_segments=1 << 10,
+            n_runs=1 << 15,
+        )
+        assert choice.strategy in (Strategy.COMBINED, Strategy.MERGE_RUNS)
+        assert choice.estimate is not None
+
+    def test_segment_sort_for_case1(self):
+        choice = choose_enforcer(
+            spec("A"),
+            spec("A", "B"),
+            n_rows=1 << 20,
+            n_segments=1 << 10,
+        )
+        assert choice.strategy is Strategy.SEGMENT_SORT
+
+
+class TestJoinPlanning:
+    def test_enrollment_single_index_serves_both_joins(self):
+        """The paper's motivating example: one (course, student) index
+        answers both rosters and transcripts via case 3."""
+        from repro.workloads.enrollment import make_enrollment_workload
+
+        w = make_enrollment_workload(
+            n_students=30, n_courses=10, n_enrollments=150, seed=1
+        )
+        # Transcripts: students join enrollments on (student) — the
+        # enrollment side must be re-ordered from (course, student).
+        enroll = TableScan(w.enrollments)
+        students = TableScan(w.students)
+        join = plan_merge_join(
+            students,
+            enroll,
+            ["campus", "student"],
+            ["campus", "student"],
+        )
+        rows = [row for row, _ovc in join]
+        # Every enrollment appears exactly once.
+        assert len(rows) == len(w.enrollments.rows)
+
+    def test_plan_inserts_no_sort_when_satisfied(self):
+        schema = Schema.of("k", "v")
+        t = Table(schema, [(1, 1), (2, 2)], SortSpec.of("k")).with_ovcs()
+        join = plan_merge_join(
+            TableScan(t), TableScan(t), ["k"], ["k"]
+        )
+        assert "Sort" not in join.explain()

@@ -1,0 +1,107 @@
+"""Physical design with modifiable orders: fewer indexes, same queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analysis import Strategy
+from repro.model import SortSpec
+from repro.optimizer.physical_design import (
+    RequiredOrdering,
+    coverage_cost,
+    design_indexes,
+)
+
+
+def spec(*names):
+    return SortSpec.of(*names)
+
+
+class TestCoverage:
+    def test_satisfied_order_is_free(self):
+        cov = coverage_cost(spec("A", "B"), spec("A"), n_rows=1 << 20)
+        assert cov.free and cov.cost == 0.0
+
+    def test_rotation_is_cheap_but_not_free(self):
+        cov = coverage_cost(spec("A", "B"), spec("B", "A"), n_rows=1 << 20)
+        assert cov.strategy is Strategy.MERGE_RUNS
+        assert 0.0 < cov.cost
+
+    def test_rotation_beats_full_sort(self):
+        rot = coverage_cost(spec("A", "B"), spec("B", "A"), n_rows=1 << 20)
+        srt = coverage_cost(spec("X", "Y"), spec("B", "A"), n_rows=1 << 20)
+        assert srt.strategy is Strategy.FULL_SORT
+        assert rot.cost < srt.cost
+
+
+class TestEnrollmentDesign:
+    ROSTER = spec("course", "student")
+    TRANSCRIPT = spec("student", "course")
+
+    def test_one_index_suffices_with_modification(self):
+        result = design_indexes([self.ROSTER, self.TRANSCRIPT], n_rows=1 << 20)
+        assert len(result.chosen) == 1
+        served = result.assignments
+        strategies = {cov.strategy for cov in served.values()}
+        assert Strategy.NOOP in strategies
+        assert Strategy.MERGE_RUNS in strategies
+
+    def test_traditional_design_needs_two_indexes(self):
+        result = design_indexes(
+            [self.ROSTER, self.TRANSCRIPT],
+            n_rows=1 << 20,
+            modification_allowed=False,
+        )
+        assert len(result.chosen) == 2
+
+    def test_multi_campus_case5_still_one_index(self):
+        roster = spec("campus", "course", "student")
+        transcript = spec("campus", "student", "course")
+        result = design_indexes([roster, transcript], n_rows=1 << 20)
+        assert len(result.chosen) == 1
+        assert result.assignments[transcript].strategy in (
+            Strategy.COMBINED,
+            Strategy.MERGE_RUNS,
+        )
+
+    def test_index_savings_show_in_total_cost(self):
+        smart = design_indexes([self.ROSTER, self.TRANSCRIPT], n_rows=1 << 20)
+        trad = design_indexes(
+            [self.ROSTER, self.TRANSCRIPT],
+            n_rows=1 << 20,
+            modification_allowed=False,
+        )
+        assert smart.index_cost < trad.index_cost
+
+
+class TestGeneralDesign:
+    def test_frequencies_weight_the_choice(self):
+        # A hot rotation and a cold unrelated order: the rotation's
+        # base index must be chosen; the cold order gets its own.
+        demands = [
+            RequiredOrdering(spec("A", "B"), frequency=1000.0),
+            RequiredOrdering(spec("B", "A"), frequency=1000.0),
+            RequiredOrdering(spec("X",), frequency=0.001),
+        ]
+        result = design_indexes(demands, n_rows=1 << 20)
+        assert spec("A", "B") in result.chosen or spec("B", "A") in result.chosen
+        assert spec("X") in result.chosen
+        assert len(result.chosen) == 2
+
+    def test_empty_workload(self):
+        result = design_indexes([])
+        assert result.chosen == []
+        assert result.total_query_cost == 0.0
+
+    def test_impossible_without_candidates(self):
+        with pytest.raises(ValueError):
+            design_indexes(
+                [spec("A")],
+                candidates=[spec("B")],
+            )
+
+    def test_describe_readable(self):
+        result = design_indexes([spec("A", "B"), spec("B", "A")], n_rows=1 << 16)
+        text = result.describe()
+        assert "indexes chosen: 1" in text
+        assert "via" in text

@@ -1,0 +1,73 @@
+"""Code-derived order statistics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analysis import Strategy
+from repro.model import Schema, SortSpec, Table
+from repro.optimizer.statistics import (
+    OrderStatistics,
+    choose_enforcer_with_statistics,
+    collect_order_statistics,
+)
+from repro.workloads.generators import random_sorted_table
+
+SCHEMA = Schema.of("A", "B", "C")
+SPEC = SortSpec.of("A", "B", "C")
+
+rows_st = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(0, 3)),
+    max_size=60,
+)
+
+
+@given(rows_st)
+@settings(max_examples=60, deadline=None)
+def test_distinct_counts_match_ground_truth(rows):
+    table = Table(SCHEMA, sorted(rows), SPEC).with_ovcs()
+    stats = collect_order_statistics(table)
+    assert stats.n_rows == len(rows)
+    for k in range(1, 4):
+        assert stats.distinct_prefix(k) == len({r[:k] for r in rows})
+
+
+def test_empty_table():
+    table = Table(SCHEMA, [], SPEC)
+    stats = collect_order_statistics(table)
+    assert stats.n_rows == 0
+    assert stats.distinct == (0, 0, 0, 0)
+
+
+def test_segments_and_runs_helpers():
+    rows = sorted([(a, b, 0) for a in range(4) for b in range(8)] * 2)
+    table = Table(SCHEMA, rows, SPEC).with_ovcs()
+    stats = collect_order_statistics(table)
+    assert stats.segments_for(1) == 4
+    assert stats.runs_for(1, 1) == 32
+    assert stats.average_segment_rows(1) == len(rows) / 4
+    with pytest.raises(ValueError):
+        stats.distinct_prefix(9)
+
+
+def test_describe():
+    table = Table(SCHEMA, [(1, 1, 1)], SPEC).with_ovcs()
+    text = collect_order_statistics(table).describe()
+    assert "1 rows" in text and "|prefix 1|=1" in text
+
+
+def test_enforcer_choice_uses_real_counts():
+    # Few huge segments, very many runs: exact statistics must pick the
+    # combined strategy over the naive guesses.
+    table = random_sorted_table(
+        SCHEMA, SPEC, 4096, domains=[4, 512, 64], seed=2
+    )
+    choice = choose_enforcer_with_statistics(
+        table, SortSpec.of("A", "C", "B")
+    )
+    assert choice.strategy in (Strategy.COMBINED, Strategy.SEGMENT_SORT)
+    assert choice.estimate is not None
+    noop = choose_enforcer_with_statistics(table, SortSpec.of("A", "B"))
+    assert noop.strategy is Strategy.NOOP

@@ -1,0 +1,129 @@
+"""Unit and property tests for code encodings and the max-theorem."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ovc.codes import (
+    DUPLICATE,
+    FENCE,
+    ascending_code,
+    ascending_integer_code,
+    code_to_ovc,
+    descending_integer_code,
+    max_merge,
+    ovc_to_code,
+)
+
+
+def test_duplicate_is_lowest_ascending_code():
+    assert DUPLICATE == (0, 0)
+    assert DUPLICATE < ascending_code(0, 0, 4)
+    assert DUPLICATE < ascending_code(3, 0, 4)
+
+
+def test_fence_loses_to_everything():
+    assert FENCE > ascending_code(0, 10**9, 4)
+    assert FENCE > DUPLICATE
+    assert FENCE[0] is math.inf
+
+
+def test_round_trip_tuple_codes():
+    for arity in (1, 2, 5):
+        for offset in range(arity + 1):
+            ovc = (offset, 7) if offset < arity else (arity, 0)
+            assert code_to_ovc(ovc_to_code(ovc, arity), arity) == ovc
+
+
+def test_code_to_ovc_rejects_fence():
+    with pytest.raises(ValueError):
+        code_to_ovc(FENCE, 4)
+
+
+@given(
+    st.integers(0, 5),
+    st.integers(0, 99),
+    st.integers(0, 5),
+    st.integers(0, 99),
+)
+def test_tuple_code_order_matches_integer_code_order(o1, v1, o2, v2):
+    """The (arity-offset, value) tuple order equals the paper's
+    ascending integer encoding order, for any domain bound."""
+    arity, domain = 6, 100
+    t1, t2 = ascending_code(o1, v1, arity), ascending_code(o2, v2, arity)
+    i1 = ascending_integer_code(o1, v1 if o1 < arity else 0, arity, domain)
+    i2 = ascending_integer_code(o2, v2 if o2 < arity else 0, arity, domain)
+    assert (t1 < t2) == (i1 < i2)
+    assert (t1 == t2) == (i1 == i2)
+
+
+@given(
+    st.integers(0, 5),
+    st.integers(0, 99),
+    st.integers(0, 5),
+    st.integers(0, 99),
+)
+def test_descending_codes_invert_ascending_order(o1, v1, o2, v2):
+    arity, domain = 6, 100
+    a1 = ascending_integer_code(o1, v1 if o1 < arity else 0, arity, domain)
+    a2 = ascending_integer_code(o2, v2 if o2 < arity else 0, arity, domain)
+    d1 = descending_integer_code(o1, v1 if o1 < arity else 0, arity, domain)
+    d2 = descending_integer_code(o2, v2 if o2 < arity else 0, arity, domain)
+    # Same offset+value wins in both schemes; strictly ordered pairs
+    # invert.  Equal-code pairs coincide.
+    if (o1, v1 if o1 < arity else 0) == (o2, v2 if o2 < arity else 0):
+        assert a1 == a2 and d1 == d2
+    else:
+        assert (a1 < a2) == (d1 > d2)
+
+
+@st.composite
+def sorted_row_triple(draw):
+    """Three rows x <= y <= z over a small domain."""
+    arity = draw(st.integers(1, 5))
+    rows = sorted(
+        draw(
+            st.lists(
+                st.tuples(*([st.integers(0, 4)] * arity)),
+                min_size=3,
+                max_size=3,
+            )
+        )
+    )
+    return arity, rows
+
+
+def _code(base: tuple, row: tuple, arity: int) -> tuple:
+    for i in range(arity):
+        if base[i] != row[i]:
+            return (arity - i, row[i])
+    return DUPLICATE
+
+
+@given(sorted_row_triple())
+def test_max_theorem(triple):
+    """code(z|x) == max(code(z|y), code(y|x)) for x <= y <= z."""
+    arity, (x, y, z) = triple
+    assert _code(x, z, arity) == max_merge(_code(x, y, arity), _code(y, z, arity))
+
+
+@given(sorted_row_triple())
+def test_codes_are_order_preserving(triple):
+    """Two rows coded against the same base order by their codes; equal
+    codes imply agreement through offset+1 columns."""
+    arity, (x, y, z) = triple
+    cy, cz = _code(x, y, arity), _code(x, z, arity)
+    if cy < cz:
+        assert y <= z
+    elif cz < cy:
+        # Lower code wins: z would sort before y — but y <= z by
+        # construction, so this can only happen when they tie anyway.
+        assert y[: arity] == z[: arity] or z <= y
+    else:
+        if cy != DUPLICATE:
+            shared = arity - cy[0] + 1
+            assert y[:shared] == z[:shared]

@@ -1,0 +1,146 @@
+"""Tests for the instrumented comparison routines."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ovc.codes import DUPLICATE
+from repro.ovc.compare import (
+    compare_plain,
+    compare_resume,
+    form_code,
+    make_ovc_entry_comparator,
+    make_plain_entry_comparator,
+)
+from repro.ovc.stats import ComparisonStats
+from repro.sorting.tournament import Entry, fence
+
+ARITY = 3
+keys_st = st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(0, 3))
+
+
+def _code(base, row):
+    for i in range(ARITY):
+        if base[i] != row[i]:
+            return (ARITY - i, row[i])
+    return DUPLICATE
+
+
+def test_compare_plain_counts_each_column():
+    stats = ComparisonStats()
+    assert compare_plain((1, 1, 1), (1, 1, 2), stats) == -1
+    assert stats.column_comparisons == 3
+    assert stats.row_comparisons == 1
+
+
+def test_form_code_is_cfc():
+    stats = ComparisonStats()
+    rel, code = form_code((1, 2, 9), (1, 2, 3), ARITY, stats)
+    assert rel == 1 and code == (1, 9)
+    rel, code = form_code((1, 2, 3), (1, 2, 3), ARITY, stats)
+    assert rel == 0 and code == DUPLICATE
+
+
+@given(keys_st, keys_st, keys_st)
+def test_compare_resume_agrees_with_tuple_order(base, a, b):
+    """For any base <= a, b: the OVC comparison must order a and b like
+    plain tuple comparison, and the loser's new code must be its code
+    relative to the winner."""
+    base, a, b = sorted([base, a, b])[0], *sorted([a, b])[0:2]
+    if not (base <= a and base <= b):
+        return
+    stats = ComparisonStats()
+    rel, loser_code = compare_resume(
+        a, _code(base, a), b, _code(base, b), ARITY, stats
+    )
+    if a < b:
+        assert rel == -1
+        assert loser_code == _code(a, b)
+    elif b < a:
+        assert rel == 1
+        assert loser_code == _code(b, a)
+    else:
+        assert rel == 0
+        assert loser_code == DUPLICATE
+
+
+@given(keys_st, keys_st, keys_st)
+def test_decided_by_codes_means_no_column_comparisons(base, a, b):
+    base, a, b = sorted([base, a, b])[0], *sorted([a, b])[0:2]
+    if not (base <= a and base <= b):
+        return
+    ca, cb = _code(base, a), _code(base, b)
+    stats = ComparisonStats()
+    compare_resume(a, ca, b, cb, ARITY, stats)
+    if ca != cb:
+        assert stats.column_comparisons == 0
+    assert stats.ovc_comparisons == 1
+
+
+def test_restricted_tie_invokes_callback():
+    stats = ComparisonStats()
+    called = {}
+
+    def on_tie(x, y, x_wins):
+        called["args"] = (x.run, y.run, x_wins)
+        return (1, 99)
+
+    compare = make_ovc_entry_comparator(
+        ARITY, stats, limit=2, on_restricted_tie=on_tie
+    )
+    a = Entry((1, 2, 5), (2, 2), (1, 2, 5), 0)
+    b = Entry((1, 2, 7), (2, 2), (1, 2, 7), 1)
+    assert compare(a, b) is True
+    assert called["args"] == (0, 1, True)
+    assert b.code == (1, 99)
+    # Only the column inside the limit after the offset was compared.
+    assert stats.column_comparisons == 0
+
+
+def test_fences_lose_without_counting():
+    stats = ComparisonStats()
+    compare = make_ovc_entry_comparator(ARITY, stats)
+    real = Entry((1, 1, 1), (3, 1), (1, 1, 1), 0)
+    f = fence(1)
+    assert compare(real, f) is True
+    assert compare(f, real) is False
+    assert compare(f, fence(2)) is True  # lower run wins among fences
+    assert stats.row_comparisons == 0
+    assert stats.column_comparisons == 0
+
+
+def test_unknown_codes_fall_back_to_cfc():
+    stats = ComparisonStats()
+    compare = make_ovc_entry_comparator(ARITY, stats)
+    a = Entry((1, 1, 1), None, (1, 1, 1), 0)
+    b = Entry((1, 1, 2), None, (1, 1, 2), 1)
+    assert compare(a, b) is True
+    assert b.code == (1, 2)  # formed relative to a
+    assert stats.column_comparisons == 3
+
+
+def test_unknown_code_loser_on_other_side():
+    stats = ComparisonStats()
+    compare = make_ovc_entry_comparator(ARITY, stats)
+    a = Entry((1, 1, 5), None, (1, 1, 5), 0)
+    b = Entry((1, 1, 2), None, (1, 1, 2), 1)
+    assert compare(a, b) is False
+    assert a.code == (1, 5)
+
+
+def test_plain_comparator_stable_tie():
+    stats = ComparisonStats()
+    compare = make_plain_entry_comparator(ARITY, stats)
+    a = Entry((1, 1, 1), None, (1, 1, 1), 3)
+    b = Entry((1, 1, 1), None, (1, 1, 1), 1)
+    assert compare(a, b) is False  # lower run index wins ties
+
+
+def test_plain_comparator_start_skips_prefix():
+    stats = ComparisonStats()
+    compare = make_plain_entry_comparator(ARITY, stats, start=1)
+    a = Entry((9, 1, 1), None, (9, 1, 1), 0)
+    b = Entry((0, 1, 2), None, (0, 1, 2), 1)
+    assert compare(a, b) is True  # column 0 ignored
+    assert stats.column_comparisons == 2

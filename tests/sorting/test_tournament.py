@@ -1,0 +1,149 @@
+"""Tests for the tree-of-losers priority queue (Figure 2)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ovc.compare import make_ovc_entry_comparator, make_plain_entry_comparator
+from repro.ovc.stats import ComparisonStats
+from repro.sorting.tournament import Entry, TreeOfLosers
+
+
+def _entries(values, run):
+    """A run of single-column rows with codes against the imaginary
+    lowest row for the head and run predecessors after."""
+    out = []
+    prev = None
+    for v in values:
+        code = (1, v) if (prev is None or v != prev) else (0, 0)
+        out.append(Entry((v,), code, (v,), run))
+        prev = v
+    return out
+
+
+def test_figure2_twelve_inputs():
+    """Merge 12 runs; smallest first (the figure's winner is 61 from
+    input 9)."""
+    firsts = [157, 87, 91, 123, 99, 200, 310, 88, 110, 61, 140, 175]
+    runs = [
+        _entries(sorted([f, f + 10, f + 20]), i) for i, f in enumerate(firsts)
+    ]
+    stats = ComparisonStats()
+    tree = TreeOfLosers(
+        [iter(r) for r in runs], make_ovc_entry_comparator(1, stats)
+    )
+    first = tree.pop()
+    assert first.row == (61,)
+    assert first.run == 9
+    rest = [e.row[0] for e in tree]
+    assert rest == sorted(rest)
+    assert len(rest) == 35
+
+
+@given(
+    st.lists(
+        st.lists(st.integers(0, 50), max_size=12).map(sorted),
+        min_size=1,
+        max_size=9,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_merges_any_runs_with_codes(runs):
+    stats = ComparisonStats()
+    tree = TreeOfLosers(
+        [iter(_entries(r, i)) for i, r in enumerate(runs)],
+        make_ovc_entry_comparator(1, stats),
+    )
+    got = [e.row[0] for e in tree]
+    assert got == sorted(v for r in runs for v in r)
+
+
+@given(
+    st.lists(
+        st.lists(st.integers(0, 50), max_size=12).map(sorted),
+        min_size=1,
+        max_size=9,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_merge_is_stable_by_run_index(runs):
+    """Equal keys emerge in run-index order (stable merge)."""
+    stats = ComparisonStats()
+    tree = TreeOfLosers(
+        [iter(_entries(r, i)) for i, r in enumerate(runs)],
+        make_plain_entry_comparator(1, stats),
+    )
+    got = [(e.row[0], e.run) for e in tree]
+    expected = sorted(
+        ((v, i) for i, r in enumerate(runs) for v in r),
+        key=lambda t: (t[0], t[1]),
+    )
+    assert got == expected
+
+
+def test_empty_inputs():
+    stats = ComparisonStats()
+    tree = TreeOfLosers([], make_ovc_entry_comparator(1, stats))
+    assert tree.pop() is None
+    tree = TreeOfLosers([iter(())], make_ovc_entry_comparator(1, stats))
+    assert tree.pop() is None
+
+
+def test_single_input_passthrough():
+    stats = ComparisonStats()
+    tree = TreeOfLosers(
+        [iter(_entries([1, 2, 2, 3], 0))], make_ovc_entry_comparator(1, stats)
+    )
+    assert [e.row[0] for e in tree] == [1, 2, 2, 3]
+    assert stats.column_comparisons == 0
+
+
+def test_comparison_count_near_lower_bound():
+    """Merging k runs of m rows costs about n*log2(k) row comparisons."""
+    import math
+
+    k, m = 8, 64
+    runs = [
+        _entries(sorted(range(i, 8 * m, 8))[:m], i) for i in range(k)
+    ]
+    stats = ComparisonStats()
+    tree = TreeOfLosers(
+        [iter(r) for r in runs], make_ovc_entry_comparator(1, stats)
+    )
+    list(tree)
+    n = k * m
+    assert stats.row_comparisons <= n * math.log2(k) + k * math.log2(k) + k
+
+
+def test_popped_codes_are_relative_to_previous_winner():
+    """The stream of popped codes is exactly the output's code stream."""
+    runs = [[1, 4, 7], [2, 4, 8], [3, 5, 9]]
+    stats = ComparisonStats()
+    tree = TreeOfLosers(
+        [iter(_entries(r, i)) for i, r in enumerate(runs)],
+        make_ovc_entry_comparator(1, stats),
+    )
+    out = [(e.row[0], e.code) for e in tree]
+    values = [v for v, _c in out]
+    assert values == sorted(values)
+    for i in range(1, len(out)):
+        v, code = out[i]
+        if v == values[i - 1]:
+            assert code == (0, 0)
+        else:
+            assert code == (1, v)
+
+
+def test_render_shows_tree_state():
+    runs = [_entries([10 * i + 1, 10 * i + 2], i) for i in range(4)]
+    stats = ComparisonStats()
+    tree = TreeOfLosers(
+        [iter(r) for r in runs], make_ovc_entry_comparator(1, stats)
+    )
+    text = tree.render()
+    assert text.startswith("winner:")
+    assert "run 0" in text
+    assert "level 1 losers" in text and "level 2 losers" in text
+    tree.pop()
+    assert "winner:" in tree.render()

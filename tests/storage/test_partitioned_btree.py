@@ -1,0 +1,86 @@
+"""Tests for the partitioned b-tree (hypothesis 8's second structure)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import Schema, SortSpec
+from repro.ovc.derive import verify_ovcs
+from repro.ovc.stats import ComparisonStats
+from repro.storage.partitioned_btree import PartitionedBTree
+
+SCHEMA = Schema.of("A", "B")
+SPEC = SortSpec.of("A", "B")
+
+batches_st = st.lists(
+    st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)), max_size=25),
+    min_size=1,
+    max_size=4,
+)
+
+
+@given(batches_st)
+@settings(max_examples=40, deadline=None)
+def test_partitions_are_sorted_runs(batches):
+    tree = PartitionedBTree(SCHEMA, SPEC, order=8)
+    for batch in batches:
+        tree.ingest(batch)
+    assert tree.partition_count == len(batches)
+    runs = tree.partition_runs()
+    assert len(runs) == sum(1 for b in batches if b)
+    it = iter(runs)
+    for batch in batches:
+        if not batch:
+            continue
+        rows, ovcs = next(it)
+        assert rows == sorted(batch)
+        assert verify_ovcs(rows, ovcs, (0, 1))
+
+
+@given(batches_st)
+@settings(max_examples=40, deadline=None)
+def test_merged_scan(batches):
+    tree = PartitionedBTree(SCHEMA, SPEC, order=8)
+    for batch in batches:
+        tree.ingest(batch)
+    merged = tree.scan_merged()
+    assert merged.rows == sorted(r for b in batches for r in b)
+    if merged.rows:
+        assert verify_ovcs(merged.rows, merged.ovcs, (0, 1))
+
+
+def test_partition_scan_isolates_partitions():
+    tree = PartitionedBTree(SCHEMA, SPEC, order=8)
+    p0 = tree.ingest([(3, 0), (1, 0)])
+    p1 = tree.ingest([(2, 0)])
+    assert list(tree.partition_scan(p0)) == [(1, 0), (3, 0)]
+    assert list(tree.partition_scan(p1)) == [(2, 0)]
+    assert len(tree) == 3
+
+
+def test_order_modification_via_forest_view():
+    rng = random.Random(2)
+    tree = PartitionedBTree(Schema.of("A", "B", "C"), SortSpec.of("A", "B", "C"))
+    for _ in range(3):
+        tree.ingest(
+            [
+                (rng.randrange(4), rng.randrange(4), rng.randrange(4))
+                for _ in range(50)
+            ]
+        )
+    forest = tree.to_forest()
+    stats = ComparisonStats()
+    result = forest.modify_order_segmented(SortSpec.of("A", "C", "B"), stats)
+    all_rows = [r for p in forest.partitions for r in p.rows]
+    assert result.rows == sorted(all_rows, key=lambda r: (r[0], r[2], r[1]))
+
+
+def test_reserved_column_rejected():
+    with pytest.raises(ValueError):
+        PartitionedBTree(
+            Schema.of("__partition", "B"), SortSpec.of("B")
+        )

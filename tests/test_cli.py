@@ -1,0 +1,41 @@
+"""Tests for the ``python -m repro`` experiment runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_cli_table1(capsys):
+    assert main(["table1", "--log2-rows", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1 cases" in out
+    assert "A,C,B,D" in out
+
+
+def test_cli_fig10(capsys):
+    assert main(["fig10", "--log2-rows", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 10" in out
+    assert "no-ovc" in out and "ovc" in out
+
+
+def test_cli_fig11(capsys):
+    assert main(["fig11", "--log2-rows", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 11" in out
+    assert "combined" in out
+
+
+def test_cli_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["fig99"])
+
+
+def test_cli_design(capsys):
+    assert main(["design", "--log2-rows", "10"]) == 0
+    out = capsys.readouterr().out
+    assert "Physical design" in out
+    assert "with modification" in out
+    assert "Three-table join planning" in out

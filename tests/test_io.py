@@ -1,0 +1,113 @@
+"""Tests for CSV / JSON-lines table I/O."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.io import read_csv, read_jsonl, write_csv, write_jsonl
+from repro.model import Schema, SortSpec, Table
+from repro.testing import assert_table_valid
+
+SCHEMA = Schema.of("A", "B", "name")
+
+
+def test_csv_round_trip(tmp_path):
+    rows = [(1, 2.5, "x"), (2, None, "hello, world"), (3, 0.0, "")]
+    table = Table(SCHEMA, rows)
+    path = tmp_path / "t.csv"
+    write_csv(table, path)
+    back = read_csv(path)
+    assert back.schema == SCHEMA
+    # Empty strings round-trip as None under inference.
+    assert back.rows == [(1, 2.5, "x"), (2, None, "hello, world"), (3, 0.0, None)]
+
+
+def test_csv_type_inference_narrowest():
+    data = "A,B,C\n1,1.5,x\n2,2,y\n"
+    table = read_csv(io.StringIO(data))
+    assert table.rows == [(1, 1.5, "x"), (2, 2.0, "y")]
+
+
+def test_csv_explicit_types():
+    data = "A,B\n1,2\n3,4\n"
+    table = read_csv(io.StringIO(data), types=[str, int])
+    assert table.rows == [("1", 2), ("3", 4)]
+
+
+def test_csv_sorted_load_derives_codes():
+    data = "A,B\n1,1\n1,2\n2,0\n"
+    table = read_csv(io.StringIO(data), sort_spec=SortSpec.of("A", "B"))
+    assert table.ovcs == [(0, 1), (1, 2), (0, 2)]
+    assert_table_valid(table)
+
+
+def test_csv_unsorted_load_with_spec_rejected():
+    data = "A\n2\n1\n"
+    with pytest.raises(ValueError):
+        read_csv(io.StringIO(data), sort_spec=SortSpec.of("A"))
+
+
+def test_csv_errors():
+    with pytest.raises(ValueError, match="no header"):
+        read_csv(io.StringIO(""))
+    with pytest.raises(ValueError, match="fields"):
+        read_csv(io.StringIO("A,B\n1\n"))
+    with pytest.raises(ValueError, match="one type per column"):
+        read_csv(io.StringIO("A,B\n1,2\n"), types=[int])
+
+
+def test_jsonl_round_trip(tmp_path):
+    rows = [(1, "x"), (2, None)]
+    table = Table(Schema.of("k", "v"), rows)
+    path = tmp_path / "t.jsonl"
+    write_jsonl(table, path)
+    back = read_jsonl(path)
+    assert back.schema.columns == ("k", "v")
+    assert back.rows == rows
+
+
+def test_jsonl_missing_keys_become_none():
+    data = '{"k": 1, "v": "a"}\n{"k": 2}\n'
+    table = read_jsonl(io.StringIO(data))
+    assert table.rows == [(1, "a"), (2, None)]
+
+
+def test_jsonl_unknown_key_rejected():
+    data = '{"k": 1}\n{"z": 2}\n'
+    with pytest.raises(ValueError, match="unknown columns"):
+        read_jsonl(io.StringIO(data))
+
+
+def test_jsonl_empty_needs_schema():
+    with pytest.raises(ValueError, match="explicit schema"):
+        read_jsonl(io.StringIO(""))
+    table = read_jsonl(io.StringIO(""), schema=Schema.of("x"))
+    assert table.rows == []
+
+
+def test_jsonl_sorted_load_supports_engine(tmp_path):
+    data = '{"A": 1, "B": 9}\n{"A": 2, "B": 0}\n'
+    table = read_jsonl(io.StringIO(data), sort_spec=SortSpec.of("A"))
+    from repro.query import Query
+
+    assert Query(table).order_by("B", "A").rows() == [(2, 0), (1, 9)]
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(-5, 5), st.text(max_size=5).filter(lambda s: "\n" not in s and "\r" not in s)),
+        max_size=20,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_jsonl_property_round_trip(rows):
+    table = Table(Schema.of("n", "s"), rows)
+    buf = io.StringIO()
+    write_jsonl(table, buf)
+    buf.seek(0)
+    back = read_jsonl(buf, schema=Schema.of("n", "s"))
+    assert back.rows == rows

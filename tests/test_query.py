@@ -1,0 +1,129 @@
+"""Tests for the fluent query facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model import Schema, SortSpec, Table
+from repro.query import Query
+from repro.workloads.enrollment import make_enrollment_workload
+from repro.workloads.generators import random_sorted_table
+
+SCHEMA = Schema.of("A", "B", "C")
+SPEC = SortSpec.of("A", "B", "C")
+
+
+def table(n=300, seed=0) -> Table:
+    return random_sorted_table(SCHEMA, SPEC, n, domains=[5, 6, 7], seed=seed)
+
+
+def test_filter_select_limit_chain():
+    t = table()
+    got = (
+        Query(t)
+        .filter(lambda r: r[1] >= 3)
+        .select("A", "B")
+        .limit(5)
+        .rows()
+    )
+    expected = [(r[0], r[1]) for r in t.rows if r[1] >= 3][:5]
+    assert got == expected
+
+
+def test_where_shortcut():
+    t = table()
+    got = Query(t).where("A", 2).rows()
+    assert got == [r for r in t.rows if r[0] == 2]
+
+
+def test_order_by_uses_modification():
+    t = table()
+    q = Query(t).order_by("A", "C", "B")
+    rows = q.rows()
+    assert rows == sorted(t.rows, key=lambda r: (r[0], r[2], r[1]))
+    assert "Sort" in q.explain()
+
+
+def test_group_by_sorts_when_needed():
+    t = table()
+    got = Query(t).group_by(["B"], [("count", None)]).rows()
+    from collections import Counter
+
+    counts = Counter(r[1] for r in t.rows)
+    assert got == sorted(counts.items())
+
+
+def test_aggregate_single_row():
+    t = table()
+    got = Query(t).aggregate([("count", None), ("min", "C")]).rows()
+    assert got == [(len(t), min(r[2] for r in t.rows))]
+
+
+def test_distinct_with_and_without_keys():
+    t = table()
+    got = Query(t).distinct(["A"]).rows()
+    assert len(got) == len({r[0] for r in t.rows})
+    assert [r[0] for r in got] == sorted({r[0] for r in t.rows})
+    unsorted = Table(SCHEMA, list(t.rows))
+    with pytest.raises(ValueError):
+        Query(unsorted).distinct()
+
+
+def test_top_k():
+    t = table()
+    got = Query(t).top(4, "C", "B").rows()
+    assert got == sorted(t.rows, key=lambda r: (r[2], r[1]))[:4]
+
+
+def test_pivot_sorts_when_needed():
+    rows = [("e", 1, 5), ("w", 2, 3), ("e", 2, 7), ("e", 1, 5)]
+    t = Table(Schema.of("region", "q", "amt"), rows)  # unsorted!
+    got = (
+        Query(t)
+        .pivot(["region"], "q", "amt", [1, 2], agg="sum")
+        .rows()
+    )
+    assert got == [("e", 10, 7), ("w", None, 3)]
+
+
+def test_join_with_enforcers():
+    w = make_enrollment_workload(
+        n_students=20, n_courses=6, n_enrollments=100, seed=3
+    )
+    transcripts = (
+        Query(w.students)
+        .join(
+            Query(w.enrollments).order_by(
+                "campus", "student", "course", "semester"
+            ),
+            on=[("campus", "campus"), ("student", "student")],
+        )
+        .group_by(["campus", "student"], [("count", None)])
+    )
+    rows = transcripts.rows()
+    assert sum(r[-1] for r in rows) == len(w.enrollments)
+
+
+def test_set_operations():
+    a = Table(SCHEMA, [(1, 1, 1), (2, 2, 2)], SPEC).with_ovcs()
+    b = Table(SCHEMA, [(2, 2, 2), (3, 3, 3)], SPEC).with_ovcs()
+    assert Query(a).union_all(b).rows() == [
+        (1, 1, 1), (2, 2, 2), (2, 2, 2), (3, 3, 3)
+    ]
+    assert Query(a).union(b).rows() == [(1, 1, 1), (2, 2, 2), (3, 3, 3)]
+    assert Query(a).intersect(b).rows() == [(2, 2, 2)]
+    assert Query(a).except_(b).rows() == [(1, 1, 1)]
+
+
+def test_type_errors():
+    with pytest.raises(TypeError):
+        Query(42)
+    with pytest.raises(TypeError):
+        Query(table()).union_all(42)
+
+
+def test_iteration_yields_row_code_pairs():
+    t = table(n=5)
+    pairs = list(Query(t))
+    assert len(pairs) == 5
+    assert all(len(p) == 2 for p in pairs)

@@ -1,0 +1,66 @@
+"""Tests for explain_analyze plan tracing."""
+
+from __future__ import annotations
+
+from repro.engine import Filter, GroupBy, MergeJoin, Sort, TableScan
+from repro.model import Schema, SortSpec, Table
+from repro.query import Query
+from repro.trace import explain_analyze, instrument
+from repro.workloads.generators import random_sorted_table
+
+SCHEMA = Schema.of("A", "B", "C")
+SPEC = SortSpec.of("A", "B", "C")
+
+
+def make_table(n=200, seed=0) -> Table:
+    return random_sorted_table(SCHEMA, SPEC, n, domains=[4, 5, 6], seed=seed)
+
+
+def test_probe_is_transparent():
+    table = make_table()
+    plain = list(TableScan(table))
+    probed = list(instrument(TableScan(table)))
+    assert plain == probed
+
+
+def test_explain_analyze_counts_per_operator():
+    table = make_table()
+    op = Filter(TableScan(table), lambda r: r[1] == 0)
+    rows, report = explain_analyze(op)
+    expected = [r for r in table.rows if r[1] == 0]
+    assert rows == expected
+    assert "Filter" in report and "TableScan" in report
+    # The scan's probe saw every row; the filter's only the survivors.
+    lines = report.splitlines()
+    filter_line = next(l for l in lines if "Filter" in l)
+    scan_line = next(l for l in lines if "TableScan" in l)
+    assert f"-> {len(expected):,} rows" in filter_line
+    assert f"-> {len(table):,} rows" in scan_line
+
+
+def test_explain_analyze_join_tree():
+    table = make_table()
+    left = Sort(TableScan(table), SortSpec.of("B", "A"))
+    right = Sort(TableScan(make_table(seed=1)), SortSpec.of("B", "A"))
+    join = MergeJoin(left, right, ["B"], ["B"])
+    rows, report = explain_analyze(join)
+    assert "MergeJoin" in report
+    assert report.count("TableScan") == 2
+    assert "comparisons" in report.splitlines()[-1]
+    assert len(rows) > 0
+
+
+def test_explain_analyze_only_charges_this_run():
+    table = make_table()
+    op = GroupBy(TableScan(table), ["A"], [("count", None)])
+    op.stats.column_comparisons = 123_456  # pre-existing spend
+    _rows, report = explain_analyze(op)
+    assert "123,456" not in report
+
+
+def test_query_facade_integration():
+    table = make_table()
+    q = Query(table).order_by("A", "C", "B").group_by(["A"], [("count", None)])
+    rows, report = explain_analyze(q.op)
+    assert sum(r[1] for r in rows) == len(table)
+    assert "GroupBy" in report and "Sort" in report

@@ -1,0 +1,139 @@
+"""Tests for the experiment data generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model import SortSpec
+from repro.ovc.derive import verify_ovcs
+from repro.workloads.enrollment import make_enrollment_workload
+from repro.workloads.generators import (
+    fig10_output_spec,
+    fig10_table,
+    fig11_output_spec,
+    fig11_table,
+    random_sorted_table,
+    random_table,
+)
+from repro.model import Schema
+
+
+@pytest.mark.parametrize("decide", ["first", "last"])
+@pytest.mark.parametrize("list_len", [1, 2, 4])
+def test_fig10_table_shape(decide, list_len):
+    table = fig10_table(1 << 10, list_len, decide=decide, n_runs=16, seed=1)
+    assert len(table) == 1 << 10
+    assert len(table.schema) == 2 * list_len
+    assert table.is_sorted()
+    positions = table.sort_spec.positions(table.schema)
+    assert verify_ovcs(table.rows, table.ovcs, positions)
+    # Only the deciding column varies within each list.
+    pos = 0 if decide == "first" else list_len - 1
+    for row in table.rows[:50]:
+        for c in range(list_len):
+            if c != pos:
+                assert row[c] == 0 and row[list_len + c] == 0
+    # Exactly n_runs distinct A values.
+    assert len({row[pos] for row in table.rows}) == 16
+
+
+def test_fig10_output_spec_is_case3():
+    from repro.core.analysis import Strategy, analyze_order_modification
+
+    table = fig10_table(256, 2, n_runs=4)
+    plan = analyze_order_modification(table.sort_spec, fig10_output_spec(2))
+    assert plan.strategy is Strategy.MERGE_RUNS
+    assert plan.case_id == 3
+
+
+@pytest.mark.parametrize("n_segments", [1, 2, 32])
+def test_fig11_table_shape(n_segments):
+    table = fig11_table(1 << 10, n_segments, list_len=4, seed=2)
+    assert len(table) == 1 << 10
+    assert table.is_sorted()
+    positions = table.sort_spec.positions(table.schema)
+    assert verify_ovcs(table.rows, table.ovcs, positions)
+    seg_col = 3  # last column of the A list
+    assert len({row[seg_col] for row in table.rows}) == n_segments
+
+
+def test_fig11_run_scaling_rule():
+    """Quartering segment size halves runs per segment and run size."""
+    n = 1 << 12
+    t_coarse = fig11_table(n, 4, list_len=2)
+    t_fine = fig11_table(n, 16, list_len=2)
+
+    def runs_per_segment(table, list_len=2):
+        seg_pos, run_pos = list_len - 1, 2 * list_len - 1
+        pairs = {(r[seg_pos], r[run_pos]) for r in table.rows}
+        segs = {r[seg_pos] for r in table.rows}
+        return len(pairs) / len(segs)
+
+    ratio = runs_per_segment(t_coarse) / runs_per_segment(t_fine)
+    assert 1.7 < ratio < 2.4  # halved, up to rounding
+
+
+def test_fig11_output_spec_is_case5():
+    from repro.core.analysis import Strategy, analyze_order_modification
+
+    table = fig11_table(256, 4, list_len=2)
+    plan = analyze_order_modification(table.sort_spec, fig11_output_spec(2))
+    assert plan.strategy is Strategy.COMBINED
+    assert plan.prefix_len == 2
+
+
+def test_random_sorted_table():
+    schema = Schema.of("A", "B")
+    spec = SortSpec.of("A", "B")
+    table = random_sorted_table(schema, spec, 200, domains=5, seed=3)
+    assert table.is_sorted()
+    assert verify_ovcs(table.rows, table.ovcs, (0, 1))
+
+
+def test_random_table_domains_validation():
+    with pytest.raises(ValueError):
+        random_table(Schema.of("A", "B"), 10, domains=[5])
+
+
+def test_generators_are_deterministic():
+    a = fig10_table(256, 2, n_runs=8, seed=42)
+    b = fig10_table(256, 2, n_runs=8, seed=42)
+    assert a.rows == b.rows
+    c = fig10_table(256, 2, n_runs=8, seed=43)
+    assert a.rows != c.rows
+
+
+def test_enrollment_workload():
+    w = make_enrollment_workload(
+        n_students=20, n_courses=5, n_enrollments=100, n_campuses=2, seed=0
+    )
+    assert w.enrollments.is_sorted()
+    assert len(w.enrollments) >= 100
+    assert w.roster_order.names == ("campus", "course", "student", "semester")
+    assert w.transcript_order.names == ("campus", "student", "course", "semester")
+    # The stored order serves rosters as-is and transcripts via case 5.
+    from repro.core.analysis import Strategy, analyze_order_modification
+
+    plan = analyze_order_modification(
+        w.enrollments.sort_spec, w.transcript_order
+    )
+    assert plan.strategy is Strategy.COMBINED
+    assert plan.case_id == 7
+
+
+def test_enrollment_single_campus_case():
+    """With one campus the stored key's campus column is constant;
+    after the optimizer's constant reduction the modification is the
+    paper's case 7 (course/student rotation with a semester tail)."""
+    w = make_enrollment_workload(
+        n_students=20, n_courses=5, n_enrollments=50, n_campuses=1, seed=0
+    )
+    from repro.core.analysis import Strategy, analyze_order_modification
+    from repro.optimizer.orderings import OrderingContext, reduce_spec
+
+    ctx = OrderingContext.of(constants=["campus"])
+    reduced_input = reduce_spec(w.enrollments.sort_spec, ctx)
+    assert reduced_input.names == ("course", "student", "semester")
+    plan = analyze_order_modification(reduced_input, w.transcript_order)
+    assert plan.strategy is Strategy.MERGE_RUNS
+    assert plan.case_id == 3  # stable rotation; semester tails both keys
