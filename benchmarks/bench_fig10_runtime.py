@@ -3,7 +3,8 @@ offset-value codes, for column lists of varying lengths.
 
 Paper result: offset-value codes cut run time by 20-35%, with the
 larger benefit when the *last* column of each list decides comparisons.
-One pytest-benchmark entry per (decide, list_len, ovc) cell.
+One pytest-benchmark entry per (decide, list_len, ovc) cell, plus a
+fast-engine entry per (decide, list_len) for the packed-code kernels.
 """
 
 from __future__ import annotations
@@ -29,5 +30,16 @@ def test_fig10_runtime(benchmark, n_rows_default, list_len, decide, use_ovc):
     table = _make(n_rows_default, list_len, decide)
     benchmark.group = f"fig10 {decide}-decides len={list_len}"
     result = benchmark(run_fig10_cell, table, list_len, use_ovc)
+    assert len(result) == len(table)
+    assert result.is_sorted()
+
+
+@pytest.mark.parametrize("list_len", LIST_LENGTHS)
+@pytest.mark.parametrize("decide", ["first", "last"])
+def test_fig10_runtime_fast_engine(benchmark, n_rows_default, list_len, decide):
+    """The packed-code kernels on the same cells (no counters)."""
+    table = _make(n_rows_default, list_len, decide)
+    benchmark.group = f"fig10 {decide}-decides len={list_len}"
+    result = benchmark(run_fig10_cell, table, list_len, True, None, "fast")
     assert len(result) == len(table)
     assert result.is_sorted()

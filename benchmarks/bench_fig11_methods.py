@@ -28,9 +28,21 @@ def segment_counts(n_rows: int) -> list[int]:
 @pytest.mark.parametrize("method", FIG11_METHODS)
 @pytest.mark.parametrize("n_segments", (2, 32, 512))
 def test_fig11_runtime(benchmark, n_rows_default, n_segments, method):
+    n_segments = min(n_segments, n_rows_default // 2)
     table = fig11_table(n_rows_default, n_segments, seed=0)
     benchmark.group = f"fig11 segments={n_segments}"
     result = benchmark(run_fig11_cell, table, method)
+    assert len(result) == len(table)
+
+
+@pytest.mark.parametrize("method", FIG11_METHODS)
+@pytest.mark.parametrize("n_segments", (2, 32, 512))
+def test_fig11_runtime_fast_engine(benchmark, n_rows_default, n_segments, method):
+    """The packed-code kernels on the same cells (no counters)."""
+    n_segments = min(n_segments, n_rows_default // 2)
+    table = fig11_table(n_rows_default, n_segments, seed=0)
+    benchmark.group = f"fig11 segments={n_segments}"
+    result = benchmark(run_fig11_cell, table, method, None, 8, "fast")
     assert len(result) == len(table)
 
 

@@ -7,7 +7,9 @@ Regenerates the paper's measured artifacts as text tables:
 * ``table1`` — the eight prototype cases, auto strategy vs full sort;
 * ``design`` — physical design + join planning with/without modification
   (hypothesis 10);
-* ``all`` — everything above.
+* ``bench`` — reference vs fast engine across the fig10/fig11 cells
+  (``--json PATH`` writes the machine-readable trajectory artifact);
+* ``all`` — everything above except ``bench``.
 
 Options: ``--rows 2**N`` via ``--log2-rows N`` (default 14), ``--seed``.
 """
@@ -150,19 +152,46 @@ def _design(n_rows: int) -> None:
     )
 
 
+def _bench(n_rows: int, seed: int, json_path: str | None) -> None:
+    from .bench.trajectory import run_trajectory, write_trajectory
+
+    record = run_trajectory(n_rows, seed=seed)
+    print(
+        format_table(
+            record["cells"],
+            f"reference vs fast engines ({n_rows:,} rows; "
+            f"min speedup {record['min_speedup']}x, "
+            f"geomean {record['geomean_speedup']}x)",
+        )
+    )
+    if json_path:
+        write_trajectory(json_path, record)
+        print(f"wrote {json_path}")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
-        "experiment", choices=["fig10", "fig11", "table1", "design", "all"]
+        "experiment",
+        choices=["fig10", "fig11", "table1", "design", "bench", "all"],
     )
     parser.add_argument("--log2-rows", type=int, default=14)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="with 'bench': also write the JSON trajectory artifact",
+    )
     args = parser.parse_args(argv)
     n_rows = 1 << args.log2_rows
 
+    if args.experiment == "bench":
+        _bench(n_rows, args.seed, args.json)
+        return 0
     if args.experiment in ("fig10", "all"):
         _fig10(n_rows, args.seed)
         print()

@@ -30,11 +30,15 @@ def run_fig10_cell(
     list_len: int,
     use_ovc: bool,
     stats: ComparisonStats | None = None,
+    engine: str = "reference",
 ) -> Table:
     """One Figure 10 bar: modify ``A,B -> B,A`` with/without codes.
 
     This is Table 1 case 3: merging the pre-existing runs defined by
-    distinct values of ``A``.
+    distinct values of ``A``.  ``engine`` defaults to the instrumented
+    reference executors — the figure reports comparison counts; pass
+    ``"fast"`` to time the packed-code kernels instead (counters stay
+    zero).
     """
     return modify_sort_order(
         table,
@@ -42,6 +46,7 @@ def run_fig10_cell(
         method="merge_runs",
         use_ovc=use_ovc,
         stats=stats if stats is not None else ComparisonStats(),
+        engine=engine,
     )
 
 
@@ -85,15 +90,18 @@ def run_fig11_cell(
     method: str,
     stats: ComparisonStats | None = None,
     list_len: int = 8,
+    engine: str = "reference",
 ) -> Table:
     """One Figure 11 bar: ``A,B,C -> A,C,B`` with one of the three
-    methods, all using the input's offset-value codes."""
+    methods, all using the input's offset-value codes.  ``engine`` as
+    in :func:`run_fig10_cell`."""
     return modify_sort_order(
         table,
         fig11_output_spec(list_len),
         method=method,
         use_ovc=True,
         stats=stats if stats is not None else ComparisonStats(),
+        engine=engine,
     )
 
 

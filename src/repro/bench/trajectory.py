@@ -1,0 +1,138 @@
+"""Reference-vs-fast benchmark trajectory: one JSON artifact per run.
+
+The fast path's acceptance bar is wall-clock (>= 3x on the Figure 10
+and Figure 11 workloads at the default 2^16 scale) *plus* untouched
+comparison economics on the reference path.  This module measures both
+in one sweep and emits a machine-readable record — committed as
+``BENCH_fastpath.json`` at the repo root — so later sessions can track
+the trajectory instead of re-deriving it.
+
+Each cell is timed with both engines on the *same* generated table;
+the fast run also asserts bit-identical rows and codes against the
+reference result, so a regression in either speed or fidelity shows up
+in the artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import time
+from typing import Sequence
+
+from ..core.modify import modify_sort_order
+from ..ovc.stats import ComparisonStats
+from ..workloads.generators import (
+    fig10_output_spec,
+    fig10_table,
+    fig11_output_spec,
+    fig11_table,
+)
+
+FIG10_CELLS = tuple(
+    (decide, list_len) for decide in ("first", "last") for list_len in (2, 8, 16)
+)
+FIG11_CELLS = tuple(
+    (n_segments, method)
+    for n_segments in (2, 512)
+    for method in ("segment_sort", "merge_runs", "combined")
+)
+
+
+def _time(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _cell(label: str, table, spec, method: str, repeats: int) -> dict:
+    """Time one (workload, method) cell with both engines.
+
+    Returns the label, best-of-``repeats`` seconds per engine, the
+    speedup, and the reference engine's comparison counters.
+    """
+    stats = ComparisonStats()
+    reference = modify_sort_order(
+        table, spec, method=method, stats=stats, engine="reference"
+    )
+    fast = modify_sort_order(table, spec, method=method, engine="fast")
+    if reference.rows != fast.rows or reference.ovcs != fast.ovcs:
+        raise AssertionError(f"fast engine diverged from reference on {label}")
+    ref_s = _time(
+        lambda: modify_sort_order(
+            table, spec, method=method, stats=ComparisonStats(),
+            engine="reference",
+        ),
+        repeats,
+    )
+    fast_s = _time(
+        lambda: modify_sort_order(table, spec, method=method, engine="fast"),
+        repeats,
+    )
+    return {
+        "label": label,
+        "reference_seconds": round(ref_s, 4),
+        "fast_seconds": round(fast_s, 4),
+        "speedup": round(ref_s / fast_s, 2),
+        "row_comparisons": stats.row_comparisons,
+        "column_comparisons": stats.column_comparisons,
+        "ovc_comparisons": stats.ovc_comparisons,
+    }
+
+
+def run_trajectory(
+    n_rows: int,
+    seed: int = 0,
+    repeats: int = 3,
+    fig10_cells: Sequence[tuple] = FIG10_CELLS,
+    fig11_cells: Sequence[tuple] = FIG11_CELLS,
+) -> dict:
+    """The full reference-vs-fast sweep; returns the JSON-ready record."""
+    cells = []
+    for decide, list_len in fig10_cells:
+        table = fig10_table(
+            n_rows, list_len, decide=decide, n_runs=min(512, n_rows), seed=seed
+        )
+        cells.append(
+            _cell(
+                f"fig10 {decide}-decides len={list_len}",
+                table,
+                fig10_output_spec(list_len),
+                "merge_runs",
+                repeats,
+            )
+        )
+    for n_segments, method in fig11_cells:
+        n_segments = min(n_segments, max(n_rows // 2, 1))
+        table = fig11_table(n_rows, n_segments, seed=seed)
+        cells.append(
+            _cell(
+                f"fig11 s={n_segments} {method}",
+                table,
+                fig11_output_spec(8),
+                method,
+                repeats,
+            )
+        )
+    speedups = [c["speedup"] for c in cells]
+    return {
+        "n_rows": n_rows,
+        "seed": seed,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "min_speedup": min(speedups),
+        "geomean_speedup": round(
+            math.exp(sum(math.log(s) for s in speedups) / len(speedups)), 2
+        ),
+        "cells": cells,
+    }
+
+
+def write_trajectory(path: str, record: dict) -> None:
+    with open(path, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")

@@ -45,12 +45,20 @@ def modify_sort_order_external(
     method: str = "auto",
     stats: ComparisonStats | None = None,
     run_generation: str = "replacement",
+    engine: str = "auto",
 ) -> Table:
     """Modify ``table``'s sort order within a row-count memory budget.
 
     Returns the re-sorted table; spill I/O (if any) accumulates in
     ``page_manager``.  With segments smaller than ``memory_capacity``
     the operation is fully internal — the hypothesis 1 scenario.
+
+    ``engine="fast"`` executes the in-memory segments through the
+    packed-code kernels (:mod:`repro.fastpath`) — same rows and codes,
+    no comparison counts.  Oversized segments always take the
+    reference path: spill accounting and capped merge waves are the
+    point of this function, and the fast kernels do not model them.
+    ``auto`` keeps everything on the instrumented reference path.
 
     Stability: the structural strategies (merge/segment paths) are
     stable like their in-memory counterparts; segments or inputs that
@@ -59,6 +67,11 @@ def modify_sort_order_external(
     """
     if memory_capacity < 2:
         raise ValueError("memory capacity must allow at least two rows")
+    if engine not in ("auto", "reference", "fast"):
+        raise ValueError(
+            f"unknown engine {engine!r}; choose from"
+            " ['auto', 'fast', 'reference']"
+        )
     if table.sort_spec is None:
         raise ValueError("input table must declare its sort order")
     new_spec = new_order if isinstance(new_order, SortSpec) else SortSpec(new_order)
@@ -69,7 +82,10 @@ def modify_sort_order_external(
     plan = analyze_order_modification(table.sort_spec, new_spec)
     if plan.backward or plan.strategy is Strategy.NOOP:
         # Backward scans and no-ops never need memory beyond the scan.
-        return modify_sort_order(table, new_spec, method=method, stats=stats)
+        return modify_sort_order(
+            table, new_spec, method=method, stats=stats,
+            engine="fast" if engine == "fast" else "reference",
+        )
 
     if plan.strategy is Strategy.FULL_SORT or method == "full_sort":
         sorter = ExternalMergeSort(
@@ -101,7 +117,24 @@ def modify_sort_order_external(
     for lo, hi in split_segments(ovcs, prefix_for_segments, len(rows)):
         size = hi - lo
         if size <= memory_capacity:
-            if use_merge:
+            if engine == "fast":
+                from ..fastpath.execute import fast_segment
+
+                if use_merge:
+                    strategy = (
+                        Strategy.COMBINED
+                        if plan.strategy is Strategy.COMBINED
+                        else Strategy.MERGE_RUNS
+                    )
+                else:
+                    strategy = Strategy.SEGMENT_SORT
+                seg_rows, seg_ovcs = fast_segment(
+                    rows[lo:hi], ovcs[lo:hi], plan, new_spec, out_positions,
+                    strategy,
+                )
+                out_rows.extend(seg_rows)
+                out_ovcs.extend(seg_ovcs)
+            elif use_merge:
                 merge_preexisting_runs(
                     rows, ovcs, lo, hi, plan, out_project, in_project,
                     stats, out_rows, out_ovcs,

@@ -12,6 +12,18 @@ orders, picks (or is told) a strategy, and executes it:
   within each segment (Figure 11 method 3).
 * ``full_sort`` — tournament sort from scratch, the honest fallback.
 * ``auto`` — compile-time analysis plus the cost model decide.
+
+Orthogonal to the strategy, ``engine`` selects *how* the chosen
+strategy executes:
+
+* ``reference`` — the instrumented executors (tournament trees,
+  per-comparison counters): the path that demonstrates the paper's
+  comparison economics.
+* ``fast`` — the packed-code batch kernels of :mod:`repro.fastpath`:
+  bit-identical rows and codes, no counters, several times faster.
+* ``auto`` — ``fast`` whenever the caller did not ask for anything
+  only the reference path provides: no ``stats`` collector was passed,
+  codes are in use, and no ``max_fan_in`` cap was requested.
 """
 
 from __future__ import annotations
@@ -37,6 +49,8 @@ _METHODS = {
     "full_sort",
 }
 
+_ENGINES = {"auto", "reference", "fast"}
+
 
 def modify_sort_order(
     table: Table,
@@ -45,6 +59,7 @@ def modify_sort_order(
     use_ovc: bool = True,
     stats: ComparisonStats | None = None,
     max_fan_in: int | None = None,
+    engine: str = "auto",
 ) -> Table:
     """Return ``table``'s rows sorted on ``new_order``.
 
@@ -58,13 +73,28 @@ def modify_sort_order(
     model.  Stable strategies preserve the input order among rows equal
     under the new key.  ``max_fan_in`` caps the runs merged per step
     (graceful degradation to multi-step merges beyond it).
+
+    ``engine`` picks the executor: ``reference`` (instrumented),
+    ``fast`` (packed-code kernels, bit-identical output, no counters),
+    or ``auto`` — fast exactly when no ``stats`` collector was passed,
+    ``use_ovc`` is set, and ``max_fan_in`` is unset.  A forced ``fast``
+    engine leaves any passed ``stats`` untouched and executes
+    ``max_fan_in`` as a single-wave merge (the capped reference merge
+    produces the same rows and codes, only its counters differ).
     """
     if method not in _METHODS:
         raise ValueError(f"unknown method {method!r}; choose from {sorted(_METHODS)}")
+    if engine not in _ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; choose from {sorted(_ENGINES)}")
+    if engine == "fast" and not use_ovc:
+        raise ValueError("the fast engine requires offset-value codes (use_ovc=True)")
     if table.sort_spec is None:
         raise ValueError("input table must declare its sort order")
     new_spec = new_order if isinstance(new_order, SortSpec) else SortSpec(new_order)
     plan = analyze_order_modification(table.sort_spec, new_spec)
+    use_fast = engine == "fast" or (
+        engine == "auto" and use_ovc and stats is None and max_fan_in is None
+    )
     stats = stats if stats is not None else ComparisonStats()
 
     if plan.backward:
@@ -88,6 +118,11 @@ def modify_sort_order(
         table.with_ovcs()
 
     strategy = _resolve_strategy(plan, method, table, stats)
+
+    if use_fast:
+        from ..fastpath.execute import fast_modify
+
+        return fast_modify(table, new_spec, plan, strategy)
 
     rows, ovcs = table.rows, table.ovcs
     n = len(rows)

@@ -11,6 +11,12 @@ sorting turns one external sort into many internal ones (hypothesis 1).
 
 For plans without a shared prefix (cases 2/3) the whole input is one
 segment and this operator degenerates to the materializing path.
+
+``engine="fast"`` flushes each buffered segment through the
+packed-code kernels (:func:`repro.fastpath.execute.fast_segment`)
+instead of the instrumented executors: same rows and codes, no
+comparison counts.  ``auto`` keeps the reference path — a streaming
+operator's counters are part of its contract.
 """
 
 from __future__ import annotations
@@ -33,12 +39,20 @@ class StreamingModify(Operator):
     exposed as :attr:`peak_segment_rows` after execution.
     """
 
-    def __init__(self, child: Operator, spec: SortSpec) -> None:
+    def __init__(
+        self, child: Operator, spec: SortSpec, engine: str = "auto"
+    ) -> None:
         if child.ordering is None:
             raise ValueError("streaming modification needs an ordered input")
+        if engine not in ("auto", "reference", "fast"):
+            raise ValueError(
+                f"unknown engine {engine!r}; choose from"
+                " ['auto', 'fast', 'reference']"
+            )
         super().__init__(child.schema, spec, child.stats)
         self._child = child
         self._spec = spec
+        self._engine = engine
         self.plan: ModificationPlan = analyze_order_modification(
             child.ordering, spec
         )
@@ -79,7 +93,14 @@ class StreamingModify(Operator):
             self.peak_segment_rows = max(self.peak_segment_rows, len(seg_rows))
             out_rows: list[tuple] = []
             out_ovcs: list[tuple] = []
-            if plan.strategy in (Strategy.MERGE_RUNS, Strategy.COMBINED):
+            if self._engine == "fast":
+                from ..fastpath.execute import fast_segment
+
+                out_rows, out_ovcs = fast_segment(
+                    seg_rows, seg_ovcs, plan, spec, out_positions,
+                    plan.strategy,
+                )
+            elif plan.strategy in (Strategy.MERGE_RUNS, Strategy.COMBINED):
                 merge_preexisting_runs(
                     seg_rows, seg_ovcs, 0, len(seg_rows), plan,
                     out_project, in_project, self.stats, out_rows, out_ovcs,

@@ -10,6 +10,15 @@ paper's machinery:
   (segmented sorting / merging pre-existing runs / combined);
 * unordered child -> internal tournament sort, or external merge sort
   when a memory budget is configured and exceeded.
+
+``engine`` selects the executor for the in-memory paths: ``auto``
+keeps the instrumented reference executors (an operator's comparison
+counters are part of its contract, so ``auto`` here means
+"reference"); ``fast`` routes order modification and the internal sort
+through the packed-code kernels of :mod:`repro.fastpath` —
+bit-identical rows and codes, counters left untouched.  The external
+merge sort has no fast twin (spill accounting is its point) and always
+runs the reference path.
 """
 
 from __future__ import annotations
@@ -34,14 +43,25 @@ class Sort(Operator):
         use_ovc: bool = True,
         memory_capacity: int | None = None,
         fan_in: int = 16,
+        engine: str = "auto",
     ) -> None:
         super().__init__(child.schema, spec, child.stats)
+        if engine not in ("auto", "reference", "fast"):
+            raise ValueError(
+                f"unknown engine {engine!r}; choose from"
+                " ['auto', 'fast', 'reference']"
+            )
+        if engine == "fast" and not use_ovc:
+            raise ValueError(
+                "the fast engine requires offset-value codes (use_ovc=True)"
+            )
         self._child = child
         self._spec = spec
         self._method = method
         self._use_ovc = use_ovc
         self._memory_capacity = memory_capacity
         self._fan_in = fan_in
+        self._engine = engine
         #: Strategy actually executed, for tests and EXPLAIN output.
         self.executed: str | None = None
 
@@ -67,6 +87,7 @@ class Sort(Operator):
                 method=self._method,
                 use_ovc=self._use_ovc and table.ovcs is not None,
                 stats=self.stats,
+                engine="fast" if self._engine == "fast" else "reference",
             )
             self.executed = "modify_sort_order"
             yield from _emit(result)
@@ -88,6 +109,16 @@ class Sort(Operator):
             self.executed = "external_sort"
             self.stats.merge(result.total_stats)
             yield from zip(result.rows, result.ovcs or (None,) * len(result.rows))
+            return
+
+        if self._engine == "fast":
+            from ..fastpath.execute import fast_sort
+
+            sorted_rows, ovcs = fast_sort(
+                rows, self._spec.positions(self.schema), self._spec.directions
+            )
+            self.executed = "internal_sort"
+            yield from zip(sorted_rows, ovcs)
             return
 
         sorted_rows, ovcs = tournament_sort(

@@ -1,0 +1,30 @@
+"""Fast-path execution engine: packed codes, batch kernels, no counters.
+
+The reference executors (:mod:`repro.core.segmented`,
+:mod:`repro.core.merge_runs`) exist to *demonstrate* the paper's
+comparison economics: every decision flows through a heap-allocated
+:class:`~repro.sorting.tournament.Entry`, a closure-based comparator,
+and a :class:`~repro.ovc.stats.ComparisonStats` counter.  That
+instrumentation is the point of the reference path — and it buries the
+paper's actual performance claim under per-row Python overhead.
+
+This package is the other half of the bargain: the same algorithms with
+every offset-value code folded into a **single Python int per row**
+(:mod:`repro.fastpath.packed`), executed by **batch kernels** over
+parallel lists (:mod:`repro.fastpath.kernels`) — stable ``sorted``
+over packed keys for segment sorting, and for pre-existing runs the
+same stable sort on the packed *restricted* key, which Timsort
+executes as a galloping natural-run merge in C.  Outputs (rows *and*
+offset-value codes)
+are bit-identical to the reference engine; the differential suite in
+``tests/fastpath/`` enforces that.
+
+Select it via ``modify_sort_order(..., engine="fast")``, or let
+``engine="auto"`` pick it whenever the caller did not ask for
+comparison counters.
+"""
+
+from .execute import fast_modify, fast_sort
+from .packed import PackedCodec
+
+__all__ = ["PackedCodec", "fast_modify", "fast_sort"]

@@ -1,0 +1,200 @@
+"""Fast-path executor: strategy dispatch over the batch kernels.
+
+:func:`fast_modify` is the uninstrumented twin of the strategy branches
+in :func:`repro.core.modify.modify_sort_order`: same plan, same
+segment boundaries (from code offsets alone), same output — rows *and*
+offset-value codes bit-identical to the reference engine — but executed
+by the kernels in :mod:`repro.fastpath.kernels` over packed codes.
+
+The per-column rank dictionaries (:class:`~repro.fastpath.packed.
+PackedCodec`) are built once per call and shared by every segment.
+When every output key column is ascending, the codec and kernels read
+key values straight out of the source rows; otherwise the keys are
+projected and normalized up front (:func:`project_keys`).
+"""
+
+from __future__ import annotations
+
+from operator import itemgetter
+from typing import Sequence
+
+from ..core.analysis import ModificationPlan, Strategy
+from ..core.classify import split_segments
+from ..model import SortSpec, Table
+from ..ovc.derive import project_ovcs
+from ..sorting.merge import _key_projector
+from .kernels import fast_merge_runs, fast_sort_segment
+from .packed import PackedCodec
+
+
+def project_keys(
+    rows: Sequence[tuple],
+    positions: Sequence[int],
+    directions: Sequence[bool],
+) -> list[tuple]:
+    """All rows' normalized sort-key tuples, batch-projected.
+
+    The all-ascending common case runs through ``operator.itemgetter``
+    (no per-row Python frame); mixed directions fall back to the shared
+    normalizing projector.
+    """
+    if all(directions):
+        if len(positions) == 1:
+            pos = positions[0]
+            return [(row[pos],) for row in rows]
+        get = itemgetter(*positions)
+        return list(map(get, rows))
+    project = _key_projector(positions, directions)
+    return [project(row) for row in rows]
+
+
+def _key_access(
+    rows: Sequence[tuple],
+    positions: Sequence[int],
+    directions: Sequence[bool],
+    arity: int,
+) -> tuple:
+    """``(keysrc, codec, colpos)`` for one executor call.
+
+    All-ascending keys need no normalization, so the rows themselves
+    serve as the key source (``colpos[d]`` maps key column ``d`` to its
+    row index) and no per-row key tuples are built.  Any descending
+    column forces the projected-tuple path (``colpos[d] == d``).
+    """
+    if all(directions):
+        colpos = list(positions)
+        return rows, PackedCodec(rows, arity, colpos), colpos
+    keys = project_keys(rows, positions, directions)
+    return keys, PackedCodec(keys, arity), list(range(arity))
+
+
+def fast_modify(
+    table: Table,
+    new_spec: SortSpec,
+    plan: ModificationPlan,
+    strategy: Strategy,
+) -> Table:
+    """Execute ``strategy`` on ``table`` without instrumentation.
+
+    The table must carry offset-value codes (the caller guarantees it;
+    classification, segmenting, and code reconstruction all read them).
+    """
+    rows = table.rows
+    ovcs = table.ovcs
+    n = len(rows)
+    k_out = new_spec.arity
+
+    if strategy is Strategy.NOOP:
+        return Table(table.schema, list(rows), new_spec, project_ovcs(ovcs, k_out))
+
+    out_rows: list[tuple] = []
+    out_ovcs: list[tuple] = []
+    if n == 0:
+        return Table(table.schema, out_rows, new_spec, out_ovcs)
+
+    keysrc, codec, colpos = _key_access(
+        rows, new_spec.positions(table.schema), new_spec.directions, k_out
+    )
+    pos0 = colpos[0]
+    p = plan.prefix_len
+
+    if strategy is Strategy.FULL_SORT:
+        packed = codec.pack_range(0, k_out)
+        varying = [(d, colpos[d]) for d in codec.varying_columns(0, k_out)]
+        fast_sort_segment(
+            rows, ovcs, keysrc, packed, varying, pos0, 0, n, 0, k_out,
+            out_rows, out_ovcs,
+        )
+    elif strategy is Strategy.SEGMENT_SORT:
+        start = min(p, k_out)
+        packed = codec.pack_range(start, k_out)
+        varying = [(d, colpos[d]) for d in codec.varying_columns(start, k_out)]
+        for lo, hi in split_segments(ovcs, p, n):
+            fast_sort_segment(
+                rows, ovcs, keysrc, packed, varying, pos0, lo, hi, p, k_out,
+                out_rows, out_ovcs,
+            )
+    elif strategy is Strategy.MERGE_RUNS:
+        # One pass over the whole input; runs are distinct (P, X)
+        # combinations, so the restricted key starts at column 0.
+        packed = codec.pack_range(0, p + plan.merge_len)
+        varying = [(d, colpos[d]) for d in codec.varying_columns(0, k_out)]
+        fast_merge_runs(
+            rows, ovcs, keysrc, packed, varying, pos0, 0, n, plan,
+            out_rows, out_ovcs, respect_prefix=False,
+        )
+    else:  # COMBINED
+        packed = codec.pack_range(p, p + plan.merge_len)
+        varying = [(d, colpos[d]) for d in codec.varying_columns(p, k_out)]
+        for lo, hi in split_segments(ovcs, p, n):
+            fast_merge_runs(
+                rows, ovcs, keysrc, packed, varying, pos0, lo, hi, plan,
+                out_rows, out_ovcs, respect_prefix=True,
+            )
+
+    return Table(table.schema, out_rows, new_spec, out_ovcs)
+
+
+def fast_segment(
+    seg_rows: Sequence[tuple],
+    seg_ovcs: Sequence[tuple],
+    plan: ModificationPlan,
+    spec: SortSpec,
+    positions: Sequence[int],
+    strategy: Strategy,
+) -> tuple[list[tuple], list[tuple]]:
+    """Execute one buffered segment (the streaming operator's unit).
+
+    Returns ``(out_rows, out_ovcs)``; the codec is built per segment,
+    which is exactly this call's comparison universe.
+    """
+    out_rows: list[tuple] = []
+    out_ovcs: list[tuple] = []
+    n = len(seg_rows)
+    if n == 0:
+        return out_rows, out_ovcs
+    k_out = spec.arity
+    keysrc, codec, colpos = _key_access(seg_rows, positions, spec.directions, k_out)
+    pos0 = colpos[0]
+    if strategy in (Strategy.MERGE_RUNS, Strategy.COMBINED):
+        respect = strategy is Strategy.COMBINED
+        start = plan.prefix_len if respect else 0
+        packed = codec.pack_range(start, plan.prefix_len + plan.merge_len)
+        varying = [(d, colpos[d]) for d in codec.varying_columns(start, k_out)]
+        fast_merge_runs(
+            seg_rows, seg_ovcs, keysrc, packed, varying, pos0, 0, n, plan,
+            out_rows, out_ovcs, respect_prefix=respect,
+        )
+    else:
+        p = plan.prefix_len if strategy is Strategy.SEGMENT_SORT else 0
+        start = min(p, k_out)
+        packed = codec.pack_range(start, k_out)
+        varying = [(d, colpos[d]) for d in codec.varying_columns(start, k_out)]
+        fast_sort_segment(
+            seg_rows, seg_ovcs, keysrc, packed, varying, pos0, 0, n, p, k_out,
+            out_rows, out_ovcs,
+        )
+    return out_rows, out_ovcs
+
+
+def fast_sort(
+    rows: Sequence[tuple],
+    positions: Sequence[int],
+    directions: Sequence[bool],
+) -> tuple[list[tuple], list[tuple]]:
+    """Stable full sort with fresh output codes — the fast twin of
+    :func:`repro.sorting.internal.tournament_sort` with ``use_ovc``."""
+    out_rows: list[tuple] = []
+    out_ovcs: list[tuple] = []
+    n = len(rows)
+    if n == 0:
+        return out_rows, out_ovcs
+    arity = len(positions)
+    keysrc, codec, colpos = _key_access(rows, positions, directions, arity)
+    packed = codec.pack_range(0, arity)
+    varying = [(d, colpos[d]) for d in codec.varying_columns(0, arity)]
+    fast_sort_segment(
+        rows, None, keysrc, packed, varying, colpos[0], 0, n, 0, arity,
+        out_rows, out_ovcs,
+    )
+    return out_rows, out_ovcs

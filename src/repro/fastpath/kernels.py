@@ -1,0 +1,200 @@
+"""Batch kernels: segment sort and pre-existing-run merge, uncounted.
+
+Both kernels operate on parallel lists — rows, paper-form input codes,
+key values, packed key ints — with no ``Entry`` objects and no
+per-comparison closures:
+
+* :func:`fast_sort_segment` sorts one segment with ``sorted`` over the
+  packed post-prefix key (stable, single-int comparisons).
+* :func:`fast_merge_runs` stable-sorts the segment on the packed
+  *restricted* key (output columns up to the merge-key boundary).
+  That reproduces the reference tournament's order bit for bit: the
+  reference resolves restricted ties by run index, runs appear in input
+  order, and a stable sort preserves input order among equal keys — so
+  (restricted key, run, position-in-run) is exactly what ``sorted``
+  yields.  Better, CPython's Timsort *detects* the pre-existing runs as
+  its natural runs and merges them with galloping in C: the paper's
+  "merge pre-existing runs instead of sorting from scratch" maps onto
+  the one primitive the interpreter executes at full speed.  (A
+  ``heapq``-based k-way merge over the same packed codes gives the same
+  bits; Timsort's galloping beats the heap's per-row tuple churn.)
+
+Key values are read through ``keysrc`` + ``varying``: ``keysrc`` is
+either the projected normalized key tuples or — in the all-ascending
+case — the source rows themselves, and ``varying`` pairs each
+non-constant key column ``d`` with its index ``pd`` into a ``keysrc``
+entry (``pd == d`` for key tuples, ``pd == positions[d]`` for rows).
+Reading rows directly skips the per-row key-tuple projection, the
+largest fixed cost of small segments.
+
+Output offset-value codes are reconstructed without the tournament:
+rows that follow their own run predecessor reuse the paper's O(1) code
+adjustments (offset drops by ``|X|`` for merge rows, positional mapping
+for duplicate/tail rows — :mod:`repro.core.adjust`); only cross-run
+adjacencies fall back to a resumed scan of the two key tuples, visiting
+just the columns that vary at all in this input.  Either way the result
+equals a fresh derivation against the output predecessor, which is what
+the reference tournament emits (its popped winners' codes are always
+relative to the previously popped winner).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.analysis import ModificationPlan
+
+
+def adjacent_ovc(
+    prev_keys: tuple, keys: tuple, varying: Sequence[tuple], arity: int
+) -> tuple:
+    """Paper-form code of ``keys`` against ``prev_keys``.
+
+    ``varying`` pairs each key column where any two rows of this call
+    can differ with its index into the key entries; constant columns
+    are skipped.
+    """
+    for d, pd in varying:
+        if prev_keys[pd] != keys[pd]:
+            return (d, keys[pd])
+    return (arity, 0)
+
+
+def fast_sort_segment(
+    rows: Sequence[tuple],
+    ovcs: Sequence[tuple] | None,
+    keysrc: Sequence[tuple],
+    packed: Sequence[int],
+    varying: Sequence[tuple],
+    pos0: int,
+    lo: int,
+    hi: int,
+    prefix_len: int,
+    output_arity: int,
+    out_rows: list[tuple],
+    out_ovcs: list[tuple],
+) -> None:
+    """Sort rows ``[lo, hi)`` (one segment) on the desired order.
+
+    ``packed`` holds each row's post-prefix output key folded into one
+    int; ``keysrc``/``varying`` give access to the normalized key
+    values (consulted only to reconstruct codes; ``pos0`` indexes key
+    column 0).  Mirrors :func:`repro.core.segmented.sort_segment` with
+    ``use_ovc=True``.
+    """
+    if hi <= lo:
+        return
+    p = prefix_len
+    k_out = output_arity
+
+    if p >= k_out:
+        # Shared prefix covers the whole desired key: all rows are
+        # duplicates under the new order; copy through.
+        out_rows.extend(rows[lo:hi])
+        out_ovcs.append(ovcs[lo])
+        out_ovcs.extend([(k_out, 0)] * (hi - lo - 1))
+        return
+
+    order = sorted(range(lo, hi), key=packed.__getitem__)
+    out_rows.extend([rows[i] for i in order])
+
+    first = order[0]
+    # The segment's first output row inherits the saved segment-head
+    # code; with no prefix it is coded against the imaginary lowest row.
+    out_ovcs.append(ovcs[lo] if p > 0 else (0, keysrc[first][pos0]))
+    append = out_ovcs.append
+    duplicate = (k_out, 0)
+    prev_packed = packed[first]
+    prev_keys = keysrc[first]
+    for i in order[1:]:
+        pk = packed[i]
+        if pk == prev_packed:
+            # Equal packed suffix + shared segment prefix = duplicate.
+            append(duplicate)
+            continue
+        keys = keysrc[i]
+        for d, pd in varying:
+            if prev_keys[pd] != keys[pd]:
+                append((d, keys[pd]))
+                break
+        else:
+            append(duplicate)
+        prev_packed = pk
+        prev_keys = keys
+
+
+def fast_merge_runs(
+    rows: Sequence[tuple],
+    ovcs: Sequence[tuple],
+    keysrc: Sequence[tuple],
+    packed: Sequence[int],
+    varying: Sequence[tuple],
+    pos0: int,
+    lo: int,
+    hi: int,
+    plan: ModificationPlan,
+    out_rows: list[tuple],
+    out_ovcs: list[tuple],
+    respect_prefix: bool = True,
+) -> None:
+    """Merge the pre-existing runs of rows ``[lo, hi)`` into the output.
+
+    ``packed`` holds each row's restricted key — output key columns
+    ``[head_offset, |P|+|M|)`` — folded into one int; ``keysrc``/
+    ``varying`` give access to the normalized key values of the
+    non-constant output key columns at or beyond ``head_offset``
+    (``pos0`` indexes key column 0).  Within the restricted region runs
+    are sorted streams and run order equals input order, so the stable
+    sort on packed keys reproduces the reference tournament's output
+    exactly (see module docstring).  Mirrors
+    :func:`repro.core.merge_runs.merge_preexisting_runs` with
+    ``use_ovc=True``.
+    """
+    if hi <= lo:
+        return
+    x = plan.infix_len
+    k_out = plan.output_arity
+    dropped = plan.infix_dropped
+    head_offset = plan.prefix_len if respect_prefix else 0
+    run_boundary = plan.prefix_len + x
+    dup_boundary = run_boundary + plan.merge_len
+    tail_boundary = dup_boundary + plan.tail_len
+
+    first_out = len(out_rows)
+    order = sorted(range(lo, hi), key=packed.__getitem__)
+    out_rows.extend([rows[i] for i in order])
+
+    out_ovcs.append((0, keysrc[order[0]][pos0]))
+    append = out_ovcs.append
+    duplicate = (k_out, 0)
+    prev = order[0]
+    for i in order[1:]:
+        offset, value = ovcs[i]
+        if prev == i - 1 and offset >= run_boundary:
+            # The output predecessor is this row's own run predecessor:
+            # the old code adjusts without touching any column value.
+            if offset < dup_boundary:
+                # Merge row: the infix left its place between the
+                # prefix and the merge keys; offset drops by |X|.
+                append((offset - x, value))
+            elif dropped or offset >= tail_boundary:
+                append(duplicate)
+            else:
+                # Tail row: same key position in input and output.
+                append((offset, value))
+        else:
+            prev_keys = keysrc[prev]
+            keys = keysrc[i]
+            for d, pd in varying:
+                if prev_keys[pd] != keys[pd]:
+                    append((d, keys[pd]))
+                    break
+            else:
+                append(duplicate)
+        prev = i
+
+    if head_offset > 0:
+        # The segment's first output row inherits the code saved from
+        # the segment's first input row: both describe the same prefix
+        # difference against the preceding segment.
+        out_ovcs[first_out] = ovcs[lo]

@@ -1,0 +1,171 @@
+"""Packed offset-value codes: one Python int per row.
+
+The paper's Figure 1 folds an offset-value code into a single machine
+word — ``(arity - offset) * domain + value`` for the ascending encoding
+(:func:`repro.ovc.codes.ascending_integer_code`) — but that needs a
+bounded integer domain per column.  The runtime's canonical ascending
+*tuple* code ``(arity - offset, value)`` lifted that restriction so
+strings and descending columns work, at the price of a tuple allocation
+and a polymorphic comparison per decision.
+
+This codec restores the single-word form for arbitrary values: it
+builds, once per executor call, a **rank dictionary** per key column —
+each distinct normalized value mapped to its dense rank — and packs
+codes and key ranges over ranks instead of raw values:
+
+* ``pack_ovc((offset, value))`` is exactly the paper's ascending
+  integer encoding with ``domain`` = the largest column cardinality:
+  lower packed int == lower ascending tuple code.
+* ``pack_range(start, stop)`` packs key columns ``[start, stop)`` of
+  every row into one mixed-radix int per row; comparing two packed ints
+  equals comparing the two normalized key slices lexicographically.
+
+Rank dictionaries are built lazily per column, so kernels that only
+touch the merge-key region never rank infix or tail columns.  Two
+further shortcuts keep the per-call setup cheap:
+
+* Whether a column varies at all is decided by an early-exit scan
+  (:meth:`PackedCodec.varies`), not by building its rank table —
+  constant columns are detected in O(n) equality checks and varying
+  ones usually at the second row.
+* Pure-``int`` columns pack as ``value - min`` (order-isomorphic to
+  the dense rank, radix ``max - min + 1``), replacing the sort + dict
+  build + per-row dict lookup with C-level ``min``/``max`` and a
+  subtraction.  Python's unbounded ints absorb the sparser radix.
+
+When every output key column is ascending, the codec can read key
+values straight out of the source rows (``positions`` maps key column
+-> row index), skipping the per-row key-tuple projection entirely;
+normalization only matters for descending columns.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+class PackedCodec:
+    """Per-column rank dictionaries over normalized key tuples.
+
+    ``keys`` are the projected, direction-normalized sort-key tuples of
+    all rows participating in one executor call (the comparison
+    universe); ``arity`` is the sort key's column count.  Ranks are
+    dense within that universe, which is all order preservation needs.
+
+    ``positions`` (optional) lets ``keys`` be the source *rows*
+    themselves: key column ``c`` is read as ``row[positions[c]]``.
+    Only valid when no column needs direction normalization (all
+    ascending).
+    """
+
+    __slots__ = ("_keys", "arity", "_pos", "_ranks", "_by_rank", "_varies")
+
+    def __init__(
+        self,
+        keys: Sequence[tuple],
+        arity: int,
+        positions: Sequence[int] | None = None,
+    ) -> None:
+        self._keys = keys
+        self.arity = arity
+        self._pos = list(positions) if positions is not None else list(range(arity))
+        self._ranks: list[dict | None] = [None] * arity
+        self._by_rank: list[list | None] = [None] * arity
+        self._varies: list[bool | None] = [None] * arity
+
+    def column(self, column: int) -> list:
+        """All rows' normalized values of key column ``column``."""
+        pc = self._pos[column]
+        return [k[pc] for k in self._keys]
+
+    def ranks(self, column: int) -> dict:
+        """value -> dense rank for ``column`` (built on first use)."""
+        got = self._ranks[column]
+        if got is None:
+            distinct = sorted(set(self.column(column)))
+            got = {v: r for r, v in enumerate(distinct)}
+            self._ranks[column] = got
+            self._by_rank[column] = distinct
+            self._varies[column] = len(got) > 1
+        return got
+
+    def varies(self, column: int) -> bool:
+        """Whether ``column`` has more than one distinct value.
+
+        Early-exit equality scan: no rank table is built, so asking
+        about a column the kernels never pack stays cheap.
+        """
+        got = self._varies[column]
+        if got is None:
+            keys = self._keys
+            if not keys:
+                got = False
+            else:
+                pc = self._pos[column]
+                first = keys[0][pc]
+                got = any(k[pc] != first for k in keys)
+            self._varies[column] = got
+        return got
+
+    def radix(self, column: int) -> int:
+        """Domain size of ``column`` in rank space (at least 1)."""
+        return max(1, len(self.ranks(column)))
+
+    @property
+    def code_radix(self) -> int:
+        """Uniform domain for single-code packing: the largest column
+        cardinality plus one (so every rank fits strictly below it)."""
+        if self.arity == 0:
+            return 1
+        return 1 + max(self.radix(c) for c in range(self.arity))
+
+    def pack_ovc(self, ovc: tuple) -> int:
+        """Paper-form ``(offset, value)`` -> single ascending int.
+
+        Exact duplicates (``offset >= arity``) pack to 0, mirroring the
+        paper's ascending integer encoding; otherwise the packed code is
+        ``(arity - offset) * code_radix + rank(value)``.
+        """
+        offset, value = ovc
+        if offset >= self.arity:
+            return 0
+        return (self.arity - offset) * self.code_radix + self.ranks(offset)[value]
+
+    def unpack_ovc(self, packed: int) -> tuple:
+        """Invert :meth:`pack_ovc` back to paper form."""
+        if packed == 0:
+            return (self.arity, 0)
+        remaining, rank = divmod(packed, self.code_radix)
+        column = self.arity - remaining
+        self.ranks(column)  # ensure the inverse table exists
+        return (column, self._by_rank[column][rank])
+
+    def pack_range(self, start: int, stop: int) -> list[int]:
+        """One mixed-radix int per row over key columns ``[start, stop)``.
+
+        Works column-at-a-time so the per-row cost is a dict lookup (or
+        an int subtraction) and a multiply-add inside a list
+        comprehension.  Columns with a single distinct value contribute
+        nothing to the packing (radix 1, rank 0) and are skipped
+        outright; pure-``int`` columns pack by offset from their
+        minimum instead of by rank.
+        """
+        packed = [0] * len(self._keys)
+        for c in range(start, stop):
+            if not self.varies(c):
+                continue
+            col = self.column(c)
+            if set(map(type, col)) == {int}:
+                mn = min(col)
+                radix = max(col) - mn + 1
+                packed = [p * radix + (v - mn) for p, v in zip(packed, col)]
+            else:
+                rc = self.ranks(c)
+                radix = len(rc)
+                packed = [p * radix + rc[v] for p, v in zip(packed, col)]
+        return packed
+
+    def varying_columns(self, start: int, stop: int) -> list[int]:
+        """Key columns in ``[start, stop)`` with more than one distinct
+        value — the only positions where two rows can ever differ."""
+        return [c for c in range(start, stop) if self.varies(c)]

@@ -79,9 +79,18 @@ class Query:
         """Project to the named columns."""
         return self._wrap(Project(self._op, list(columns)))
 
-    def order_by(self, *columns: str, method: str = "auto") -> "Query":
-        """Enforce a sort order, exploiting the input order if related."""
-        return self._wrap(Sort(self._op, SortSpec.of(*columns), method=method))
+    def order_by(
+        self, *columns: str, method: str = "auto", engine: str = "auto"
+    ) -> "Query":
+        """Enforce a sort order, exploiting the input order if related.
+
+        ``engine="fast"`` runs the sort through the packed-code kernels
+        (:mod:`repro.fastpath`) — same rows and codes, no comparison
+        counts on the operator's stats.
+        """
+        return self._wrap(
+            Sort(self._op, SortSpec.of(*columns), method=method, engine=engine)
+        )
 
     def group_by(
         self,

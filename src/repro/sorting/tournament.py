@@ -93,6 +93,10 @@ class TreeOfLosers:
     ) -> None:
         self._compare = compare
         self._inputs: list[Iterator[Entry]] = [iter(s) for s in inputs]
+        #: The most recently popped entry — the base against which input
+        #: streams form codes for fresh rows (run generation).  Defined
+        #: from construction so readers never race the first pop().
+        self.last_winner: Entry | None = None
         k = len(inputs)
         width = 1
         while width < k:
@@ -137,7 +141,7 @@ class TreeOfLosers:
             return None
         # Publish the outgoing winner before fetching: input streams that
         # form codes for fresh rows (run generation) need it as the base.
-        self.last_winner: Entry | None = winner
+        self.last_winner = winner
         candidate = self._fetch(winner.run)
         node = (self._width + winner.run) >> 1
         while node >= 1:

@@ -1,0 +1,192 @@
+"""Differential suite: the fast engine is bit-identical to reference.
+
+Every Table 1 case, every forceable method, ascending and descending
+columns, strings, duplicate-heavy domains, and the empty/singleton
+edges — asserting *identical* rows AND output offset-value codes, not
+just a correct sort.  The generators mirror
+``tests/test_fuzz_differential.py`` so the two suites cover the same
+input distribution.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.external_modify import modify_sort_order_external
+from repro.core.modify import modify_sort_order
+from repro.engine.modify_op import StreamingModify
+from repro.engine.scans import TableScan
+from repro.engine.sort_op import Sort
+from repro.model import Schema, SortSpec, Table
+from repro.ovc.derive import derive_ovcs
+from repro.ovc.stats import ComparisonStats
+
+SCHEMA = Schema.of("A", "B", "C", "D")
+
+# Input-domain shapes from the fuzz suite: balanced, few segments/many
+# runs, tiny segments, constant prefix, duplicate-heavy.
+SHAPES = [
+    (8, 8, 8, 8),
+    (2, 200, 4, 4),
+    (500, 2, 2, 2),
+    (1, 1, 300, 300),
+    (3, 3, 3, 1),
+]
+
+# The eight prototype cases of Table 1 (input order -> output order).
+TABLE1 = {
+    0: (("A", "B"), ("A",)),
+    1: (("A",), ("A", "B")),
+    2: (("A", "B"), ("B",)),
+    3: (("A", "B"), ("B", "A")),
+    4: (("A", "B", "C"), ("A", "C")),
+    5: (("A", "B", "C"), ("A", "C", "B")),
+    6: (("A", "B", "C", "D"), ("A", "C", "D")),
+    7: (("A", "B", "C", "D"), ("A", "C", "B", "D")),
+}
+
+METHODS = ["auto", "noop", "segment_sort", "merge_runs", "combined", "full_sort"]
+
+
+def _make_table(in_columns, seed, n, desc=False, strings=False):
+    rng = random.Random(seed)
+    shape = SHAPES[seed % len(SHAPES)]
+
+    def cell(c, d):
+        v = rng.randrange(d)
+        return f"s{v:03d}" if (strings and c == 1) else v
+
+    cols = [f"{c} DESC" if (desc and i == 1) else c for i, c in enumerate(in_columns)]
+    spec = SortSpec(cols)
+    key = spec.key_for(SCHEMA)
+    rows = sorted(
+        (tuple(cell(c, d) for c, d in enumerate(shape)) for _ in range(n)),
+        key=key,
+    )
+    table = Table(SCHEMA, rows, spec)
+    table.ovcs = derive_ovcs(rows, spec.positions(SCHEMA), spec.directions)
+    return table
+
+
+def _assert_identical(table, spec, method):
+    """Fast output == reference output, bit for bit, or both reject."""
+    try:
+        ref = modify_sort_order(table, spec, method=method, engine="reference")
+    except ValueError:
+        with pytest.raises(ValueError):
+            modify_sort_order(table, spec, method=method, engine="fast")
+        return
+    fast = modify_sort_order(table, spec, method=method, engine="fast")
+    assert fast.rows == ref.rows
+    assert fast.ovcs == ref.ovcs
+
+
+@pytest.mark.parametrize("case", sorted(TABLE1))
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("seed", range(3))
+def test_table1_cases_bit_identical(case, method, seed):
+    in_cols, out_cols = TABLE1[case]
+    table = _make_table(in_cols, seed, n=700)
+    _assert_identical(table, SortSpec(out_cols), method)
+
+
+@pytest.mark.parametrize("case", sorted(TABLE1))
+@pytest.mark.parametrize("desc_side", ["in", "out", "both"])
+def test_descending_columns_bit_identical(case, desc_side):
+    in_cols, out_cols = TABLE1[case]
+    table = _make_table(in_cols, 1, n=500, desc=desc_side in ("in", "both"))
+    if desc_side in ("out", "both"):
+        out = [f"{c} DESC" if i == 0 else c for i, c in enumerate(out_cols)]
+    else:
+        out = list(out_cols)
+    _assert_identical(table, SortSpec(out), "auto")
+
+
+@pytest.mark.parametrize("case", sorted(TABLE1))
+def test_string_columns_bit_identical(case):
+    in_cols, out_cols = TABLE1[case]
+    table = _make_table(in_cols, 2, n=500, strings=True)
+    _assert_identical(table, SortSpec(out_cols), "auto")
+
+
+@pytest.mark.parametrize("n", [0, 1, 2, 3])
+@pytest.mark.parametrize("method", METHODS)
+def test_tiny_inputs_bit_identical(n, method):
+    table = _make_table(("A", "B", "C"), 0, n=n)
+    _assert_identical(table, SortSpec(("A", "C", "B")), method)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_duplicate_heavy_bit_identical(seed):
+    # Shape (3,3,3,1): most adjacent rows are exact duplicates.
+    table = _make_table(("A", "B", "C", "D"), 4, n=900)
+    for out in [("A", "C", "B", "D"), ("B", "A"), ("D",)]:
+        _assert_identical(table, SortSpec(out), "auto")
+
+
+def test_auto_engine_dispatch_rules():
+    """``auto`` uses fast exactly when nothing reference-only is asked."""
+    table = _make_table(("A", "B"), 0, n=300)
+    spec = SortSpec(("B", "A"))
+    # No stats collector -> fast path -> a fresh collector sees nothing.
+    probe = ComparisonStats()
+    modify_sort_order(table, spec)  # auto/fast; must not throw
+    # Passing stats forces the reference path: counters move.
+    modify_sort_order(table, spec, stats=probe)
+    assert probe.column_comparisons + probe.ovc_comparisons > 0
+    # Forced fast with use_ovc=False is rejected.
+    with pytest.raises(ValueError):
+        modify_sort_order(table, spec, engine="fast", use_ovc=False)
+    with pytest.raises(ValueError):
+        modify_sort_order(table, spec, engine="bogus")
+
+
+def test_reference_counters_unchanged_by_dispatcher():
+    """The dispatcher must not perturb the reference path's counters."""
+    table = _make_table(("A", "B", "C"), 3, n=800)
+    spec = SortSpec(("A", "C", "B"))
+    a, b = ComparisonStats(), ComparisonStats()
+    modify_sort_order(table, spec, stats=a)
+    modify_sort_order(table, spec, stats=b, engine="reference")
+    assert (a.row_comparisons, a.column_comparisons, a.ovc_comparisons) == (
+        b.row_comparisons,
+        b.column_comparisons,
+        b.ovc_comparisons,
+    )
+
+
+def test_sort_operator_engines_agree():
+    table = _make_table(("A", "B", "C"), 1, n=600)
+    spec = SortSpec(("A", "C", "B"))
+    ref = Sort(TableScan(table), spec).to_table()
+    fast = Sort(TableScan(table), spec, engine="fast").to_table()
+    assert fast.rows == ref.rows
+    assert fast.ovcs == ref.ovcs
+    # Unordered child -> internal sort path.
+    unordered = Table(SCHEMA, list(reversed(table.rows)), None)
+    ref = Sort(TableScan(unordered), spec).to_table()
+    fast = Sort(TableScan(unordered), spec, engine="fast").to_table()
+    assert fast.rows == ref.rows
+    assert fast.ovcs == ref.ovcs
+
+
+def test_streaming_modify_engines_agree():
+    table = _make_table(("A", "B", "C"), 2, n=600)
+    spec = SortSpec(("A", "C", "B"))
+    ref = list(StreamingModify(TableScan(table), spec))
+    fast = list(StreamingModify(TableScan(table), spec, engine="fast"))
+    assert fast == ref
+
+
+def test_external_modify_engines_agree():
+    table = _make_table(("A", "B", "C"), 0, n=600)
+    spec = SortSpec(("A", "C", "B"))
+    for capacity in (64, 10_000):
+        ref = modify_sort_order_external(table, spec, memory_capacity=capacity)
+        fast = modify_sort_order_external(
+            table, spec, memory_capacity=capacity, engine="fast"
+        )
+        assert fast.rows == ref.rows
+        assert fast.ovcs == ref.ovcs

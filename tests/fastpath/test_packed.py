@@ -1,0 +1,104 @@
+"""Unit tests for the packed-code codec."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.fastpath.packed import PackedCodec
+
+
+def _keys(seed=0, n=200, shape=(5, 3, 40)):
+    rng = random.Random(seed)
+    return [tuple(rng.randrange(d) for d in shape) for _ in range(n)]
+
+
+def test_pack_ovc_orders_like_ascending_tuple_codes():
+    """Lower ascending tuple code (arity - offset, value) == lower
+    packed int, across offsets and values."""
+    keys = _keys()
+    arity = 3
+    codec = PackedCodec(keys, arity)
+    codes = [(o, v) for o in range(arity) for v in sorted({k[o] for k in keys})]
+    codes.append((arity, 0))  # the duplicate code
+    packed = [codec.pack_ovc(c) for c in codes]
+    tuple_form = [(arity - o, v if o < arity else 0) for o, v in codes]
+    order_by_packed = sorted(range(len(codes)), key=packed.__getitem__)
+    order_by_tuple = sorted(range(len(codes)), key=tuple_form.__getitem__)
+    assert order_by_packed == order_by_tuple
+
+
+def test_pack_unpack_roundtrip():
+    keys = _keys(1)
+    codec = PackedCodec(keys, 3)
+    for offset in range(3):
+        for value in sorted({k[offset] for k in keys}):
+            assert codec.unpack_ovc(codec.pack_ovc((offset, value))) == (
+                offset,
+                value,
+            )
+    assert codec.unpack_ovc(codec.pack_ovc((3, 0))) == (3, 0)
+
+
+def test_pack_range_orders_like_key_slices():
+    keys = _keys(2, shape=(4, 1, 9, 2))  # includes a constant column
+    codec = PackedCodec(keys, 4)
+    for start, stop in [(0, 4), (1, 3), (2, 4), (0, 2)]:
+        packed = codec.pack_range(start, stop)
+        by_packed = sorted(range(len(keys)), key=packed.__getitem__)
+        by_slice = sorted(range(len(keys)), key=lambda i: keys[i][start:stop])
+        assert [keys[i][start:stop] for i in by_packed] == [
+            keys[i][start:stop] for i in by_slice
+        ]
+
+
+def test_pack_range_handles_strings_and_negatives():
+    keys = [("b", -5), ("a", 10), ("b", 0), ("a", -5), ("c", 3)]
+    codec = PackedCodec(keys, 2)
+    packed = codec.pack_range(0, 2)
+    by_packed = sorted(range(len(keys)), key=packed.__getitem__)
+    assert [keys[i] for i in by_packed] == sorted(keys)
+
+
+def test_varying_columns_and_varies():
+    keys = [(1, 7, x, "s") for x in range(5)]
+    codec = PackedCodec(keys, 4)
+    assert codec.varying_columns(0, 4) == [2]
+    assert not codec.varies(0)
+    assert codec.varies(2)
+    assert not codec.varies(3)
+
+
+def test_positions_indirection_reads_rows():
+    """With ``positions``, the codec reads key columns out of rows."""
+    rows = [(i % 3, "pad", 10 - i) for i in range(10)]
+    direct = PackedCodec([(r[2], r[0]) for r in rows], 2)
+    indirect = PackedCodec(rows, 2, positions=[2, 0])
+    assert indirect.pack_range(0, 2) == direct.pack_range(0, 2)
+    assert indirect.varying_columns(0, 2) == direct.varying_columns(0, 2)
+
+
+def test_empty_universe():
+    codec = PackedCodec([], 3)
+    assert codec.pack_range(0, 3) == []
+    assert codec.varying_columns(0, 3) == []
+    assert not codec.varies(1)
+
+
+def test_radix_and_code_radix():
+    keys = [(0, "x"), (1, "x"), (2, "y")]
+    codec = PackedCodec(keys, 2)
+    assert codec.radix(0) == 3
+    assert codec.radix(1) == 2
+    assert codec.code_radix == 4  # 1 + max cardinality
+
+
+@pytest.mark.parametrize("shape", [(2, 2), (1, 50), (7, 7)])
+def test_pack_range_full_width_matches_total_order(shape):
+    keys = _keys(3, n=120, shape=shape)
+    codec = PackedCodec(keys, len(shape))
+    packed = codec.pack_range(0, len(shape))
+    assert sorted(keys) == [
+        keys[i] for i in sorted(range(len(keys)), key=packed.__getitem__)
+    ]

@@ -147,3 +147,22 @@ def test_render_shows_tree_state():
     assert "level 1 losers" in text and "level 2 losers" in text
     tree.pop()
     assert "winner:" in tree.render()
+
+
+def test_last_winner_defined_before_first_pop():
+    """``last_winner`` is an attribute from construction, not a side
+    effect of the first ``pop()`` — readers (run generation peeking at
+    the base for fresh-row codes) must never hit AttributeError."""
+    runs = [_entries([1, 2], 0)]
+    stats = ComparisonStats()
+    tree = TreeOfLosers(
+        [iter(r) for r in runs], make_ovc_entry_comparator(1, stats)
+    )
+    assert tree.last_winner is None
+    first = tree.pop()
+    assert tree.last_winner is first
+    tree.pop()
+    # Drained: last_winner keeps the final real entry, not the fence.
+    assert tree.pop() is None
+    assert tree.last_winner is not None
+    assert tree.last_winner.row == (2,)

@@ -39,3 +39,20 @@ def test_cli_design(capsys):
     assert "Physical design" in out
     assert "with modification" in out
     assert "Three-table join planning" in out
+
+
+def test_cli_bench_writes_json(capsys, tmp_path):
+    out_path = tmp_path / "bench.json"
+    assert main(["bench", "--log2-rows", "8", "--json", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "reference vs fast" in out
+    assert "speedup" in out
+    import json
+
+    record = json.loads(out_path.read_text())
+    assert record["n_rows"] == 256
+    assert record["cells"]
+    for cell in record["cells"]:
+        assert cell["fast_seconds"] > 0
+        assert cell["reference_seconds"] > 0
+        assert cell["row_comparisons"] >= 0
