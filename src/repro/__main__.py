@@ -9,9 +9,16 @@ Regenerates the paper's measured artifacts as text tables:
   (hypothesis 10);
 * ``bench`` — reference vs fast engine across the fig10/fig11 cells
   (``--json PATH`` writes the machine-readable trajectory artifact);
+  with ``--workers 1,2,4`` it instead sweeps the parallel subsystem
+  (serial vs worker pools) over the Figure 11 many-segment workload;
 * ``all`` — everything above except ``bench``.
 
-Options: ``--rows 2**N`` via ``--log2-rows N`` (default 14), ``--seed``.
+Both bench modes verify bit-identical rows and codes in every cell and
+exit non-zero on any fidelity failure, so CI smoke runs gate
+correctness, not just completion.
+
+Options: ``--rows 2**N`` via ``--log2-rows N`` (default 14), ``--seed``,
+``--workers N[,N...]`` (bench sweep / parallel execution).
 """
 
 from __future__ import annotations
@@ -152,7 +159,7 @@ def _design(n_rows: int) -> None:
     )
 
 
-def _bench(n_rows: int, seed: int, json_path: str | None) -> None:
+def _bench(n_rows: int, seed: int, json_path: str | None) -> int:
     from .bench.trajectory import run_trajectory, write_trajectory
 
     record = run_trajectory(n_rows, seed=seed)
@@ -167,6 +174,49 @@ def _bench(n_rows: int, seed: int, json_path: str | None) -> None:
     if json_path:
         write_trajectory(json_path, record)
         print(f"wrote {json_path}")
+    if not record["fidelity_ok"]:
+        print("FIDELITY FAILURE: fast engine diverged from reference")
+        return 1
+    return 0
+
+
+def _parse_workers(spec: str) -> list[int]:
+    try:
+        workers = [int(w) for w in spec.split(",") if w.strip()]
+    except ValueError:
+        raise SystemExit(
+            f"--workers expects N or N,N,... (e.g. 1,2,4); got {spec!r}"
+        )
+    if not workers:
+        raise SystemExit("--workers expects at least one worker count")
+    return workers
+
+
+def _bench_parallel(
+    n_rows: int, seed: int, json_path: str | None, workers: list[int]
+) -> int:
+    from .bench.parallel_bench import (
+        format_parallel_cells,
+        run_parallel_trajectory,
+        write_parallel_trajectory,
+    )
+
+    record = run_parallel_trajectory(n_rows, workers=workers, seed=seed)
+    print(
+        format_table(
+            format_parallel_cells(record),
+            f"serial vs parallel workers ({n_rows:,} rows; "
+            f"{record['cpu_count']} cpus; "
+            f"best speedup {record['best_speedup']}x)",
+        )
+    )
+    if json_path:
+        write_parallel_trajectory(json_path, record)
+        print(f"wrote {json_path}")
+    if not record["fidelity_ok"]:
+        print("FIDELITY FAILURE: parallel output diverged from serial")
+        return 1
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -186,12 +236,22 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="with 'bench': also write the JSON trajectory artifact",
     )
+    parser.add_argument(
+        "--workers",
+        metavar="N[,N...]",
+        default=None,
+        help="with 'bench': sweep the parallel subsystem at these worker"
+        " counts (e.g. 1,2,4) instead of the reference-vs-fast cells",
+    )
     args = parser.parse_args(argv)
     n_rows = 1 << args.log2_rows
 
     if args.experiment == "bench":
-        _bench(n_rows, args.seed, args.json)
-        return 0
+        if args.workers:
+            return _bench_parallel(
+                n_rows, args.seed, args.json, _parse_workers(args.workers)
+            )
+        return _bench(n_rows, args.seed, args.json)
     if args.experiment in ("fig10", "all"):
         _fig10(n_rows, args.seed)
         print()

@@ -1,0 +1,154 @@
+"""Serial-vs-parallel benchmark trajectory: ``BENCH_parallel.json``.
+
+Times the Figure 11 many-segment workload (the regime the parallel
+subsystem targets: many independent segments to shard) with the serial
+engine and with worker pools of each requested size, on the *same*
+generated table.  Every parallel run is checked for bit-identical rows
+and codes against the serial result and recorded as ``fidelity_ok``;
+drivers exit non-zero when any check fails.
+
+Wall-clock speedup is hardware-dependent — the record carries
+``cpu_count`` and the multiprocessing start method so a committed
+artifact is interpretable.  On a single-core machine the parallel
+runs measure pure sharding/IPC overhead (speedup < 1 by construction);
+the ≥ 1.8x-at-4-workers target applies on hosts with ≥ 4 cores.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import platform
+import time
+from typing import Sequence
+
+from ..core.modify import modify_sort_order
+from ..workloads.generators import fig11_output_spec, fig11_table
+
+#: (n_segments, method) cells — many segments, both shardable methods.
+PARALLEL_CELLS = tuple(
+    (n_segments, method)
+    for n_segments in (512, 4096)
+    for method in ("segment_sort", "combined")
+)
+
+DEFAULT_WORKERS = (1, 2, 4)
+
+
+def _time(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _cell(
+    label: str, table, spec, method: str,
+    workers: Sequence[int], repeats: int,
+) -> dict:
+    serial = modify_sort_order(table, spec, method=method)
+    serial_s = _time(
+        lambda: modify_sort_order(table, spec, method=method), repeats
+    )
+    cell = {
+        "label": label,
+        "serial_seconds": round(serial_s, 4),
+        "workers": {},
+        "fidelity_ok": True,
+    }
+    for w in workers:
+        if w < 2:
+            continue
+        parallel = modify_sort_order(table, spec, method=method, workers=w)
+        fidelity = (
+            parallel.rows == serial.rows and parallel.ovcs == serial.ovcs
+        )
+        cell["fidelity_ok"] = cell["fidelity_ok"] and fidelity
+        par_s = _time(
+            lambda: modify_sort_order(table, spec, method=method, workers=w),
+            repeats,
+        )
+        cell["workers"][str(w)] = {
+            "seconds": round(par_s, 4),
+            "speedup": round(serial_s / par_s, 2),
+            "fidelity_ok": fidelity,
+        }
+    return cell
+
+
+def run_parallel_trajectory(
+    n_rows: int,
+    workers: Sequence[int] = DEFAULT_WORKERS,
+    seed: int = 0,
+    repeats: int = 3,
+    cells: Sequence[tuple] = PARALLEL_CELLS,
+) -> dict:
+    """The serial-vs-workers sweep; returns the JSON-ready record.
+
+    The dispatcher's tiny-input threshold is suspended for the sweep so
+    the pool is *always* exercised — the point is to measure sharding
+    and IPC cost (or win) at the requested scale, not the dispatcher's
+    decision to avoid it.
+    """
+    from ..parallel import planner
+
+    out = []
+    spec = fig11_output_spec(8)
+    saved_threshold = planner.MIN_PARALLEL_ROWS
+    planner.MIN_PARALLEL_ROWS = 0
+    try:
+        for n_segments, method in cells:
+            n_segments = min(n_segments, max(n_rows // 2, 1))
+            table = fig11_table(n_rows, n_segments, seed=seed)
+            out.append(
+                _cell(
+                    f"fig11 s={n_segments} {method}",
+                    table, spec, method, workers, repeats,
+                )
+            )
+    finally:
+        planner.MIN_PARALLEL_ROWS = saved_threshold
+    best = 0.0
+    for cell in out:
+        for entry in cell["workers"].values():
+            best = max(best, entry["speedup"])
+    return {
+        "n_rows": n_rows,
+        "seed": seed,
+        "repeats": repeats,
+        "workers": [w for w in workers],
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "start_method": os.environ.get(
+            "REPRO_PARALLEL_START_METHOD",
+            multiprocessing.get_start_method(allow_none=True) or "default",
+        ),
+        "fidelity_ok": all(c["fidelity_ok"] for c in out),
+        "best_speedup": best,
+        "cells": out,
+    }
+
+
+def format_parallel_cells(record: dict) -> list[dict]:
+    """Flatten the record into rows for the text-table renderer."""
+    rows = []
+    for cell in record["cells"]:
+        flat = {
+            "label": cell["label"],
+            "serial_s": cell["serial_seconds"],
+        }
+        for w, entry in cell["workers"].items():
+            flat[f"w{w}_s"] = entry["seconds"]
+            flat[f"w{w}_speedup"] = entry["speedup"]
+        flat["fidelity"] = "ok" if cell["fidelity_ok"] else "DIVERGED"
+        rows.append(flat)
+    return rows
+
+
+def write_parallel_trajectory(path: str, record: dict) -> None:
+    with open(path, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")

@@ -8,9 +8,11 @@ in one sweep and emits a machine-readable record — committed as
 the trajectory instead of re-deriving it.
 
 Each cell is timed with both engines on the *same* generated table;
-the fast run also asserts bit-identical rows and codes against the
-reference result, so a regression in either speed or fidelity shows up
-in the artifact.
+the fast run is also checked for bit-identical rows and codes against
+the reference result, recorded per cell as ``fidelity_ok`` (and
+aggregated at the top level), so a regression in either speed or
+fidelity shows up in the artifact — and the CLI/benchmark drivers exit
+non-zero on any fidelity failure, gating CI.
 """
 
 from __future__ import annotations
@@ -60,8 +62,7 @@ def _cell(label: str, table, spec, method: str, repeats: int) -> dict:
         table, spec, method=method, stats=stats, engine="reference"
     )
     fast = modify_sort_order(table, spec, method=method, engine="fast")
-    if reference.rows != fast.rows or reference.ovcs != fast.ovcs:
-        raise AssertionError(f"fast engine diverged from reference on {label}")
+    fidelity_ok = reference.rows == fast.rows and reference.ovcs == fast.ovcs
     ref_s = _time(
         lambda: modify_sort_order(
             table, spec, method=method, stats=ComparisonStats(),
@@ -78,6 +79,7 @@ def _cell(label: str, table, spec, method: str, repeats: int) -> dict:
         "reference_seconds": round(ref_s, 4),
         "fast_seconds": round(fast_s, 4),
         "speedup": round(ref_s / fast_s, 2),
+        "fidelity_ok": fidelity_ok,
         "row_comparisons": stats.row_comparisons,
         "column_comparisons": stats.column_comparisons,
         "ovc_comparisons": stats.ovc_comparisons,
@@ -124,6 +126,7 @@ def run_trajectory(
         "seed": seed,
         "repeats": repeats,
         "python": platform.python_version(),
+        "fidelity_ok": all(c["fidelity_ok"] for c in cells),
         "min_speedup": min(speedups),
         "geomean_speedup": round(
             math.exp(sum(math.log(s) for s in speedups) / len(speedups)), 2

@@ -46,6 +46,7 @@ def modify_sort_order_external(
     stats: ComparisonStats | None = None,
     run_generation: str = "replacement",
     engine: str = "auto",
+    workers: int | str | None = None,
 ) -> Table:
     """Modify ``table``'s sort order within a row-count memory budget.
 
@@ -59,6 +60,12 @@ def modify_sort_order_external(
     reference path: spill accounting and capped merge waves are the
     point of this function, and the fast kernels do not model them.
     ``auto`` keeps everything on the instrumented reference path.
+
+    ``workers`` shards the segment loop across processes
+    (:mod:`repro.parallel`) when *every* segment fits in memory — the
+    hypothesis 1 regime, where execution is fully internal and spill
+    accounting has nothing to record.  Any oversized segment keeps the
+    whole job on the serial path so its spills are charged faithfully.
 
     Stability: the structural strategies (merge/segment paths) are
     stable like their in-memory counterparts; segments or inputs that
@@ -85,6 +92,7 @@ def modify_sort_order_external(
         return modify_sort_order(
             table, new_spec, method=method, stats=stats,
             engine="fast" if engine == "fast" else "reference",
+            workers=workers,
         )
 
     if plan.strategy is Strategy.FULL_SORT or method == "full_sort":
@@ -113,6 +121,24 @@ def modify_sort_order_external(
         method in ("auto", "combined", "merge_runs")
     )
     prefix_for_segments = plan.prefix_len if plan.strategy is not Strategy.MERGE_RUNS else 0
+
+    if workers not in (None, 0, 1) and prefix_for_segments > 0:
+        segments = list(split_segments(ovcs, prefix_for_segments, len(rows)))
+        if segments and max(hi - lo for lo, hi in segments) <= memory_capacity:
+            # Fully internal execution: every segment fits, no spills to
+            # account for, so the in-memory parallel path applies as-is.
+            from ..parallel.api import parallel_modify
+
+            exec_strategy = (
+                Strategy.COMBINED if use_merge else Strategy.SEGMENT_SORT
+            )
+            result = parallel_modify(
+                table, new_spec, plan, exec_strategy, workers,
+                engine="fast" if engine == "fast" else "reference",
+                stats=stats,
+            )
+            if result is not None:
+                return result
 
     for lo, hi in split_segments(ovcs, prefix_for_segments, len(rows)):
         size = hi - lo

@@ -60,6 +60,7 @@ def modify_sort_order(
     stats: ComparisonStats | None = None,
     max_fan_in: int | None = None,
     engine: str = "auto",
+    workers: int | str | None = None,
 ) -> Table:
     """Return ``table``'s rows sorted on ``new_order``.
 
@@ -81,6 +82,15 @@ def modify_sort_order(
     engine leaves any passed ``stats`` untouched and executes
     ``max_fan_in`` as a single-wave merge (the capped reference merge
     produces the same rows and codes, only its counters differ).
+    With ``engine="auto"``, key columns the packed codec cannot rank
+    (mixed value types, ``None``) silently fall back to the reference
+    executors; a forced ``fast`` engine propagates the ``TypeError``.
+
+    ``workers`` shards segment-parallel strategies across processes
+    (:mod:`repro.parallel`): an int, ``"auto"`` (CPU count), or
+    ``None``/``1`` for serial.  Output stays bit-identical; tiny
+    inputs, single-segment jobs, and unshardable strategies fall back
+    to serial execution automatically.
     """
     if method not in _METHODS:
         raise ValueError(f"unknown method {method!r}; choose from {sorted(_METHODS)}")
@@ -95,6 +105,7 @@ def modify_sort_order(
     use_fast = engine == "fast" or (
         engine == "auto" and use_ovc and stats is None and max_fan_in is None
     )
+    caller_stats = stats
     stats = stats if stats is not None else ComparisonStats()
 
     if plan.backward:
@@ -119,10 +130,28 @@ def modify_sort_order(
 
     strategy = _resolve_strategy(plan, method, table, stats)
 
+    if workers not in (None, 0, 1) and use_ovc:
+        from ..parallel.api import parallel_modify
+
+        result = parallel_modify(
+            table, new_spec, plan, strategy, workers,
+            engine=engine, stats=caller_stats, max_fan_in=max_fan_in,
+        )
+        if result is not None:
+            return result
+
     if use_fast:
         from ..fastpath.execute import fast_modify
 
-        return fast_modify(table, new_spec, plan, strategy)
+        try:
+            return fast_modify(table, new_spec, plan, strategy)
+        except TypeError:
+            if engine == "fast":
+                raise
+            # engine="auto" met key values the packed codec cannot rank
+            # (mixed types in one column, None): the reference
+            # executors below compare only values that actually meet in
+            # a tournament, so they can still succeed.
 
     rows, ovcs = table.rows, table.ovcs
     n = len(rows)

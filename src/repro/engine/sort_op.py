@@ -19,6 +19,11 @@ through the packed-code kernels of :mod:`repro.fastpath` —
 bit-identical rows and codes, counters left untouched.  The external
 merge sort has no fast twin (spill accounting is its point) and always
 runs the reference path.
+
+``workers`` forwards to the order-modification path's parallel
+subsystem (:mod:`repro.parallel`): segment-parallel strategies shard
+across processes, with worker counters merged back into the operator's
+stats; everything else stays serial automatically.
 """
 
 from __future__ import annotations
@@ -44,6 +49,7 @@ class Sort(Operator):
         memory_capacity: int | None = None,
         fan_in: int = 16,
         engine: str = "auto",
+        workers: int | str | None = None,
     ) -> None:
         super().__init__(child.schema, spec, child.stats)
         if engine not in ("auto", "reference", "fast"):
@@ -62,6 +68,7 @@ class Sort(Operator):
         self._memory_capacity = memory_capacity
         self._fan_in = fan_in
         self._engine = engine
+        self._workers = workers
         #: Strategy actually executed, for tests and EXPLAIN output.
         self.executed: str | None = None
 
@@ -88,6 +95,7 @@ class Sort(Operator):
                 use_ovc=self._use_ovc and table.ovcs is not None,
                 stats=self.stats,
                 engine="fast" if self._engine == "fast" else "reference",
+                workers=self._workers,
             )
             self.executed = "modify_sort_order"
             yield from _emit(result)

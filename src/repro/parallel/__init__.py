@@ -1,0 +1,45 @@
+"""Parallel order-modification subsystem.
+
+The paper's structural insight — the shared key prefix partitions the
+input into independent segments — makes order modification
+embarrassingly parallel.  This package shards a modification job across
+worker processes and streams the results back in global order:
+
+* :mod:`~repro.parallel.planner` — segments -> roughly equal-cost
+  contiguous shards, priced by the Section 3.5 cost model;
+* :mod:`~repro.parallel.worker` — spawn-safe shard execution (fast
+  kernels or reference executors) inside each worker process;
+* :mod:`~repro.parallel.pool` — the process pool driver with bounded
+  in-flight shards and chunked result batches;
+* :mod:`~repro.parallel.collector` — the ordered streaming collector
+  that re-emits shard outputs in segment order with bounded buffering;
+* :mod:`~repro.parallel.api` — :func:`parallel_modify` and the
+  ``workers=`` knob resolution, wired into
+  :func:`repro.core.modify.modify_sort_order`, the ``Sort`` and
+  ``StreamingModify`` operators, ``Query.order_by`` and the CLI.
+"""
+
+from .api import parallel_modify, resolve_workers
+from .collector import OrderedCollector, ShardError
+from .planner import (
+    MIN_PARALLEL_ROWS,
+    Shard,
+    ShardPlan,
+    plan_shards,
+)
+from .pool import ShardExecutor
+from .worker import ShardContext, execute_shard
+
+__all__ = [
+    "MIN_PARALLEL_ROWS",
+    "OrderedCollector",
+    "Shard",
+    "ShardContext",
+    "ShardError",
+    "ShardExecutor",
+    "ShardPlan",
+    "execute_shard",
+    "parallel_modify",
+    "plan_shards",
+    "resolve_workers",
+]

@@ -1,0 +1,115 @@
+"""Parallel order modification: the subsystem's entry points.
+
+:func:`parallel_modify` is the multi-core twin of the strategy branches
+in :func:`repro.core.modify.modify_sort_order`: the planner shards the
+segments, a worker pool executes the shards, and the ordered collector
+reassembles the output — rows *and* offset-value codes bit-identical to
+a serial run, because no comparison ever crosses a segment boundary.
+It returns ``None`` whenever the planner declines (tiny input, single
+segment, unshardable strategy, one worker), leaving the caller on the
+serial path; callers therefore never pay pool overhead for jobs that
+cannot amortize it.
+
+Worker engine selection mirrors the serial dispatcher: shards run the
+packed-code fast kernels exactly when the caller's ``engine``/
+``stats``/``max_fan_in`` combination would have chosen them serially,
+and the instrumented reference executors otherwise.  Reference shards
+ship their comparison counters home with their final chunk, so a
+caller-supplied :class:`~repro.ovc.stats.ComparisonStats` ends up with
+exactly the counts a serial reference run would have produced (the
+per-segment work is identical; only its distribution over processes
+changes).
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..core.analysis import ModificationPlan, Strategy
+from ..model import SortSpec, Table
+from ..ovc.stats import ComparisonStats
+from .planner import ShardPlan, plan_shards
+from .pool import DEFAULT_CHUNK_ROWS, ShardExecutor
+from .worker import ShardContext
+
+
+def resolve_workers(workers: int | str | None) -> int:
+    """Normalize a ``workers=`` knob to a concrete worker count.
+
+    ``None``/``0``/``1`` mean serial; ``"auto"`` asks the OS for the
+    core count; explicit integers are taken at face value (they may
+    exceed the core count — useful for testing oversubscription).
+    """
+    if workers is None:
+        return 1
+    if workers == "auto":
+        return os.cpu_count() or 1
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise ValueError(
+            f"workers must be an int, 'auto', or None; got {workers!r}"
+        )
+    if workers < 0:
+        raise ValueError(f"workers must be non-negative, got {workers}")
+    return max(workers, 1)
+
+
+def _use_fast(engine: str, stats, max_fan_in) -> bool:
+    """The serial dispatcher's engine rule, applied to worker shards."""
+    if engine == "fast":
+        return True
+    return engine == "auto" and stats is None and max_fan_in is None
+
+
+def parallel_modify(
+    table: Table,
+    new_spec: SortSpec,
+    plan: ModificationPlan,
+    strategy: Strategy,
+    workers: int | str | None,
+    engine: str = "auto",
+    stats: ComparisonStats | None = None,
+    max_fan_in: int | None = None,
+    min_rows: int | None = None,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    start_method: str | None = None,
+) -> Table | None:
+    """Execute ``strategy`` across worker processes; ``None`` if serial.
+
+    The table must carry offset-value codes (segment boundaries and the
+    executors read them).  When a result is returned it is bit-identical
+    to the serial engines' output, and ``stats`` (if given) has absorbed
+    the workers' reference-path counters.
+    """
+    n_workers = resolve_workers(workers)
+    shard_plan = plan_shards(
+        table.ovcs, len(table.rows), plan, strategy, n_workers,
+        min_rows=min_rows,
+    )
+    if not shard_plan.parallel:
+        return None
+
+    ctx = ShardContext(
+        schema=table.schema,
+        input_spec=table.sort_spec,
+        output_spec=new_spec,
+        plan=plan,
+        strategy=strategy,
+        use_fast=_use_fast(engine, stats, max_fan_in),
+        collect_stats=stats is not None,
+        max_fan_in=max_fan_in,
+    )
+    executor = ShardExecutor(
+        ctx, n_workers, chunk_rows=chunk_rows, start_method=start_method
+    )
+    rows, ovcs = table.rows, table.ovcs
+    payloads = (
+        (rows[s.lo : s.hi], ovcs[s.lo : s.hi]) for s in shard_plan.shards
+    )
+    out_rows: list[tuple] = []
+    out_ovcs: list[tuple] = []
+    for chunk_rows_batch, chunk_ovcs in executor.run(payloads):
+        out_rows.extend(chunk_rows_batch)
+        out_ovcs.extend(chunk_ovcs)
+    if stats is not None and executor.stats is not None:
+        stats.merge(executor.stats)
+    return Table(table.schema, out_rows, new_spec, out_ovcs)

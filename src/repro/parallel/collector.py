@@ -1,0 +1,103 @@
+"""Ordered streaming collector: out-of-order shard chunks -> global order.
+
+Workers finish shards in whatever order the scheduler grants them, and
+each shard arrives as a sequence of chunked row batches.  The collector
+re-establishes the global output order — shard index, then chunk
+sequence within the shard — and releases chunks downstream the moment
+they are next in line, so consumers stream instead of waiting for the
+whole job.
+
+Chunks that arrive ahead of their turn are buffered;
+:attr:`OrderedCollector.peak_buffered_rows` records the high-water
+mark.  The buffer is bounded in practice by the executor's in-flight
+shard cap (its backpressure mechanism): at most ``max_inflight - 1``
+shards' outputs can ever be queued ahead of the emission frontier.
+
+Per-shard comparison counters (reference-path shards ship them on their
+final chunk) are merged into :attr:`OrderedCollector.stats`.
+"""
+
+from __future__ import annotations
+
+from ..ovc.stats import ComparisonStats
+
+Chunk = tuple[list[tuple], list[tuple]]
+
+
+class ShardError(RuntimeError):
+    """A worker failed while executing a shard."""
+
+    def __init__(self, shard: int, tb: str) -> None:
+        super().__init__(f"shard {shard} failed in worker:\n{tb}")
+        self.shard = shard
+
+
+class OrderedCollector:
+    """Reorders worker result messages into global output order."""
+
+    def __init__(self) -> None:
+        self._next_shard = 0
+        self._next_seq = 0
+        #: shard -> {seq: (rows, ovcs)} buffered ahead of their turn.
+        self._buffered: dict[int, dict[int, Chunk]] = {}
+        #: shard -> seq of its final chunk (known once that chunk lands).
+        self._last_seq: dict[int, int] = {}
+        self.stats = ComparisonStats()
+        #: Shards whose final chunk has arrived (in buffer or emitted).
+        self.received_shards = 0
+        #: Shards fully released downstream.
+        self.emitted_shards = 0
+        self.buffered_rows = 0
+        self.peak_buffered_rows = 0
+
+    def add(self, message: tuple) -> list[Chunk]:
+        """Feed one worker message; return chunks now ready, in order."""
+        kind = message[0]
+        if kind == "error":
+            _, shard, tb = message
+            raise ShardError(shard, tb)
+        _, shard, seq, rows, ovcs, last, counters = message
+        if counters is not None:
+            self.stats.merge(ComparisonStats(**counters))
+        if last:
+            self._last_seq[shard] = seq
+            self.received_shards += 1
+
+        if shard != self._next_shard or seq != self._next_seq:
+            self._buffered.setdefault(shard, {})[seq] = (rows, ovcs)
+            self.buffered_rows += len(rows)
+            self.peak_buffered_rows = max(
+                self.peak_buffered_rows, self.buffered_rows
+            )
+            return []
+
+        ready: list[Chunk] = [(rows, ovcs)]
+        self._advance(seq, last)
+        self._drain(ready)
+        return ready
+
+    def _advance(self, seq: int, last: bool) -> None:
+        if last:
+            self.emitted_shards += 1
+            self._next_shard += 1
+            self._next_seq = 0
+        else:
+            self._next_seq = seq + 1
+
+    def _drain(self, ready: list[Chunk]) -> None:
+        """Release any buffered chunks that are now next in line."""
+        while True:
+            chunks = self._buffered.get(self._next_shard)
+            if not chunks or self._next_seq not in chunks:
+                return
+            rows, ovcs = chunks.pop(self._next_seq)
+            if not chunks:
+                del self._buffered[self._next_shard]
+            self.buffered_rows -= len(rows)
+            ready.append((rows, ovcs))
+            last = self._last_seq.get(self._next_shard) == self._next_seq
+            self._advance(self._next_seq, last)
+
+    def pending(self) -> bool:
+        """True while buffered chunks or unfinished shards remain."""
+        return bool(self._buffered) or self.emitted_shards < self.received_shards

@@ -1,0 +1,173 @@
+"""Shard planner: segments -> roughly equal-cost contiguous shards.
+
+The shared key prefix partitions the input into *independent* segments
+(Section 3.1, Figure 3): no comparison ever crosses a segment boundary,
+and the output is the concatenation of the per-segment outputs in
+segment order.  That makes order modification embarrassingly parallel —
+provided the work is split evenly.
+
+The planner walks the segment boundaries (detected from old code
+offsets alone, per hypothesis 2), prices each segment with the
+Section 3.5 cost model (:mod:`repro.core.cost`), and greedily packs
+*contiguous* runs of segments into shards whose estimated costs are
+roughly equal.  Contiguity is load-bearing: it is what lets the ordered
+collector re-emit shard outputs by simple concatenation in shard index
+order, with no final merge.
+
+Shards deliberately outnumber workers (:data:`SHARDS_PER_WORKER` per
+worker) so that one expensive shard cannot serialize the pool: workers
+that finish early pull the next shard from the queue.
+
+A job is declared *serial* — ``ShardPlan.parallel`` is False and
+``reason`` says why — when parallelism cannot pay: fewer than two
+workers, fewer than two segments (including all ``prefix_len == 0``
+plans), a strategy whose output is not a per-segment concatenation
+(full sorts and whole-input run merges), or an input smaller than
+:data:`MIN_PARALLEL_ROWS`, the measured scale below which process
+startup and IPC dominate any multi-core win.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.analysis import ModificationPlan, Strategy
+from ..core.classify import split_segments
+from ..core.cost import _nlogk, sort_comparisons
+
+#: Inputs below this row count always run serially ("auto" threshold).
+#: Measured on the bench workloads: a worker pool costs a few
+#: milliseconds of startup plus ~1 us/row of pickling, which a serial
+#: in-memory modification undercuts comfortably below ~8k rows.
+#: Override with ``REPRO_PARALLEL_MIN_ROWS`` for experiments.
+MIN_PARALLEL_ROWS = int(os.environ.get("REPRO_PARALLEL_MIN_ROWS", 8192))
+
+#: Target shard count per worker — slack for dynamic load balancing.
+SHARDS_PER_WORKER = 4
+
+#: Strategies whose output is the concatenation of independent
+#: per-segment outputs.  MERGE_RUNS (no shared prefix) merges runs
+#: across the whole input and FULL_SORT has no segments at all; both
+#: stay serial.
+SHARDABLE_STRATEGIES = (Strategy.SEGMENT_SORT, Strategy.COMBINED)
+
+
+@dataclass(frozen=True)
+class Shard:
+    """A contiguous row range ``[lo, hi)`` covering whole segments."""
+
+    index: int
+    lo: int
+    hi: int
+    n_segments: int
+    cost: float
+
+    @property
+    def n_rows(self) -> int:
+        return self.hi - self.lo
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Planner verdict: either a shard list or a serial fallback."""
+
+    shards: tuple[Shard, ...]
+    n_segments: int
+    total_cost: float
+    parallel: bool
+    reason: str
+
+    @staticmethod
+    def serial(reason: str, n_segments: int = 0) -> "ShardPlan":
+        return ShardPlan((), n_segments, 0.0, False, reason)
+
+
+def segment_cost(size: int, n_runs: int, strategy: Strategy) -> float:
+    """Estimated work for one segment under ``strategy``.
+
+    Segment sorting pays the from-scratch bound ``n log2(n/e)``; the
+    combined method merges the segment's pre-existing runs for
+    ``n log2(runs)``.  Each row also pays a constant shipping charge so
+    that already-sorted segments (zero comparisons) still register the
+    pickling cost they impose on the pool.
+    """
+    if strategy is Strategy.SEGMENT_SORT:
+        comparisons = sort_comparisons(size)
+    else:
+        comparisons = _nlogk(size, n_runs)
+    return comparisons + float(size)
+
+
+def plan_shards(
+    ovcs: Sequence[tuple],
+    n_rows: int,
+    plan: ModificationPlan,
+    strategy: Strategy,
+    n_workers: int,
+    min_rows: int | None = None,
+    shards_per_worker: int = SHARDS_PER_WORKER,
+) -> ShardPlan:
+    """Bin-pack the input's segments into roughly equal-cost shards.
+
+    Returns a serial plan (``parallel=False``) whenever sharding cannot
+    pay off; callers fall back to the in-process executors.
+    """
+    if min_rows is None:
+        min_rows = MIN_PARALLEL_ROWS
+    if n_workers < 2:
+        return ShardPlan.serial("fewer than two workers")
+    if strategy not in SHARDABLE_STRATEGIES:
+        return ShardPlan.serial(
+            f"strategy {strategy.value} is not segment-shardable"
+        )
+    if n_rows < min_rows:
+        return ShardPlan.serial(
+            f"input below parallel threshold ({n_rows} < {min_rows} rows)"
+        )
+    p = plan.prefix_len
+    if p == 0:
+        return ShardPlan.serial("no shared prefix: single segment", 1)
+
+    segments = list(split_segments(ovcs, p, n_rows))
+    if len(segments) < 2:
+        return ShardPlan.serial("single segment", len(segments))
+
+    run_boundary = p + plan.infix_len
+    costs = []
+    for lo, hi in segments:
+        if strategy is Strategy.COMBINED:
+            n_runs = sum(1 for i in range(lo, hi) if ovcs[i][0] < run_boundary)
+        else:
+            n_runs = hi - lo
+        costs.append(segment_cost(hi - lo, max(n_runs, 1), strategy))
+    total = sum(costs)
+
+    max_shards = max(2, n_workers * shards_per_worker)
+    target = total / max_shards
+
+    shards: list[Shard] = []
+    acc_cost = 0.0
+    acc_segments = 0
+    shard_lo = segments[0][0]
+    for (lo, hi), cost in zip(segments, costs):
+        acc_cost += cost
+        acc_segments += 1
+        if acc_cost >= target and len(shards) < max_shards - 1:
+            shards.append(
+                Shard(len(shards), shard_lo, hi, acc_segments, acc_cost)
+            )
+            shard_lo = hi
+            acc_cost = 0.0
+            acc_segments = 0
+    if acc_segments:
+        shards.append(
+            Shard(len(shards), shard_lo, n_rows, acc_segments, acc_cost)
+        )
+
+    if len(shards) < 2:
+        return ShardPlan.serial(
+            "cost concentrated in one shard", len(segments)
+        )
+    return ShardPlan(tuple(shards), len(segments), total, True, "parallel")

@@ -1,0 +1,126 @@
+"""Worker pool driver: shard payloads in, ordered output chunks out.
+
+:class:`ShardExecutor` owns the process pool for one parallel job.  It
+interleaves feeding and draining in a single loop — no helper threads —
+with two backpressure controls:
+
+* at most ``max_inflight`` shards are dispatched but not yet fully
+  received, which bounds both worker memory and the ordered collector's
+  reorder buffer;
+* workers ship results in batches of ``chunk_rows`` rows, bounding the
+  pickle size of any single IPC message.
+
+The loop never deadlocks: the task queue is unbounded (feeding never
+blocks), and the driver only blocks on the result queue while at least
+one shard is in flight — some worker then holds a task and will
+eventually produce a message.
+
+The start method defaults to the platform's (``fork`` on Linux) and can
+be forced — e.g. to ``spawn`` — via the ``REPRO_PARALLEL_START_METHOD``
+environment variable or the ``start_method`` argument; all worker entry
+points are module-level importables, so both methods work.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Iterable, Iterator
+
+from .collector import Chunk, OrderedCollector
+from .worker import ShardContext, worker_main
+
+DEFAULT_CHUNK_ROWS = 8192
+
+
+class ShardExecutor:
+    """Execute shard payloads on a worker pool, streaming ordered chunks.
+
+    One instance drives one job: call :meth:`run` once with an iterable
+    of ``(rows, ovcs)`` payloads and consume the generator.  After
+    exhaustion, :attr:`stats` holds the merged worker counters and
+    :attr:`peak_buffered_rows` the collector's reorder high-water mark.
+    """
+
+    def __init__(
+        self,
+        ctx: ShardContext,
+        n_workers: int,
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+        max_inflight: int | None = None,
+        start_method: str | None = None,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("need at least one worker")
+        self._ctx = ctx
+        self._n_workers = n_workers
+        self._chunk_rows = max(1, chunk_rows)
+        self._max_inflight = (
+            max_inflight if max_inflight is not None else 2 * n_workers
+        )
+        if start_method is None:
+            start_method = os.environ.get("REPRO_PARALLEL_START_METHOD")
+        self._mp = (
+            multiprocessing.get_context(start_method)
+            if start_method
+            else multiprocessing.get_context()
+        )
+        self._procs: list = []
+        self.stats = None
+        self.peak_buffered_rows = 0
+
+    def _start(self):
+        tasks = self._mp.Queue()
+        results = self._mp.Queue()
+        for _ in range(self._n_workers):
+            proc = self._mp.Process(
+                target=worker_main,
+                args=(self._ctx, tasks, results, self._chunk_rows),
+                daemon=True,
+            )
+            proc.start()
+            self._procs.append(proc)
+        return tasks, results
+
+    def _shutdown(self, tasks) -> None:
+        for _ in self._procs:
+            tasks.put(None)
+        for proc in self._procs:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=5)
+        self._procs.clear()
+
+    def run(
+        self, payloads: Iterable[tuple[list[tuple], list[tuple]]]
+    ) -> Iterator[Chunk]:
+        """Yield ``(rows, ovcs)`` chunks in global (shard, seq) order."""
+        collector = OrderedCollector()
+        tasks, results = self._start()
+        source = iter(payloads)
+        exhausted = False
+        dispatched = 0
+        try:
+            while True:
+                while (
+                    not exhausted
+                    and dispatched - collector.emitted_shards
+                    < self._max_inflight
+                ):
+                    try:
+                        rows, ovcs = next(source)
+                    except StopIteration:
+                        exhausted = True
+                        break
+                    tasks.put((dispatched, rows, ovcs))
+                    dispatched += 1
+                if exhausted and collector.emitted_shards >= dispatched:
+                    break
+                yield from collector.add(results.get())
+        finally:
+            self.stats = collector.stats
+            self.peak_buffered_rows = collector.peak_buffered_rows
+            self._shutdown(tasks)
+            results.close()
+            tasks.close()

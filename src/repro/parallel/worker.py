@@ -1,0 +1,134 @@
+"""Shard execution inside worker processes (spawn-safe).
+
+Everything a worker needs is bundled into one picklable
+:class:`ShardContext` shipped at pool startup; per-shard traffic is
+just ``(index, rows, ovcs)`` in and chunked ``(rows, ovcs)`` batches
+out.  All functions here are module-level so the ``spawn`` start method
+(which re-imports this module in the child) works as well as ``fork``.
+
+A worker executes its shard exactly like the serial engine executes the
+same rows: the fast packed-code kernels when the caller's engine choice
+allows them (falling back to the instrumented reference executors on
+non-packable key values), the reference executors otherwise.  Because a
+shard covers whole segments and no comparison ever crosses a segment
+boundary, the concatenated shard outputs are bit-identical — rows *and*
+codes — to a serial run.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass
+
+from ..core.analysis import ModificationPlan, Strategy
+from ..core.classify import split_segments
+from ..core.merge_runs import merge_preexisting_runs
+from ..core.segmented import sort_segment
+from ..model import Schema, SortSpec, Table
+from ..ovc.stats import ComparisonStats
+from ..sorting.merge import _key_projector
+
+
+@dataclass(frozen=True)
+class ShardContext:
+    """Static state shared by every shard of one parallel job."""
+
+    schema: Schema
+    input_spec: SortSpec
+    output_spec: SortSpec
+    plan: ModificationPlan
+    strategy: Strategy
+    #: Try the packed-code kernels first (reference on TypeError).
+    use_fast: bool
+    #: Ship per-shard comparison counters back for merging.
+    collect_stats: bool
+    max_fan_in: int | None = None
+
+
+def execute_shard(
+    rows: list[tuple],
+    ovcs: list[tuple],
+    ctx: ShardContext,
+) -> tuple[list[tuple], list[tuple], dict[str, int] | None]:
+    """Run one shard; returns ``(out_rows, out_ovcs, stats_counters)``.
+
+    ``stats_counters`` is ``None`` unless ``ctx.collect_stats`` — the
+    fast kernels count nothing, so counters are only meaningful on the
+    reference path.
+    """
+    stats = ComparisonStats()
+    if ctx.use_fast:
+        from ..fastpath.execute import fast_modify
+
+        try:
+            table = Table(ctx.schema, rows, ctx.input_spec, ovcs)
+            result = fast_modify(table, ctx.output_spec, ctx.plan, ctx.strategy)
+            counters = stats.as_dict() if ctx.collect_stats else None
+            return result.rows, result.ovcs, counters
+        except TypeError:
+            pass  # non-packable key values: reference fallback below
+
+    out_project = _key_projector(
+        ctx.output_spec.positions(ctx.schema), ctx.output_spec.directions
+    )
+    p = ctx.plan.prefix_len
+    out_rows: list[tuple] = []
+    out_ovcs: list[tuple] = []
+    if ctx.strategy is Strategy.SEGMENT_SORT:
+        for lo, hi in split_segments(ovcs, p, len(rows)):
+            sort_segment(
+                rows, ovcs, lo, hi, p, ctx.output_spec.arity, out_project,
+                stats, out_rows, out_ovcs, use_ovc=True,
+            )
+    elif ctx.strategy is Strategy.COMBINED:
+        in_project = _key_projector(
+            ctx.input_spec.positions(ctx.schema), ctx.input_spec.directions
+        )
+        for lo, hi in split_segments(ovcs, p, len(rows)):
+            merge_preexisting_runs(
+                rows, ovcs, lo, hi, ctx.plan, out_project, in_project,
+                stats, out_rows, out_ovcs, use_ovc=True,
+                respect_prefix=True, max_fan_in=ctx.max_fan_in,
+            )
+    else:  # pragma: no cover - the planner only shards the above
+        raise ValueError(f"strategy {ctx.strategy} is not shardable")
+    counters = stats.as_dict() if ctx.collect_stats else None
+    return out_rows, out_ovcs, counters
+
+
+def worker_main(ctx, tasks, results, chunk_rows: int) -> None:
+    """Worker process loop: pull shards, push chunked results.
+
+    Result messages are ``("chunk", shard, seq, rows, ovcs, last,
+    counters)`` — output shipped in batches of ``chunk_rows`` rows to
+    bound per-message pickle size — or ``("error", shard, traceback)``.
+    The per-shard counters ride on the final chunk only.  A ``None``
+    task is the shutdown signal.
+    """
+    while True:
+        task = tasks.get()
+        if task is None:
+            break
+        index, rows, ovcs = task
+        try:
+            out_rows, out_ovcs, counters = execute_shard(rows, ovcs, ctx)
+        except BaseException:
+            results.put(("error", index, traceback.format_exc()))
+            continue
+        n = len(out_rows)
+        n_chunks = max(1, -(-n // chunk_rows))
+        for seq in range(n_chunks):
+            lo = seq * chunk_rows
+            hi = min(n, lo + chunk_rows)
+            last = seq == n_chunks - 1
+            results.put(
+                (
+                    "chunk",
+                    index,
+                    seq,
+                    out_rows[lo:hi],
+                    out_ovcs[lo:hi],
+                    last,
+                    counters if last else None,
+                )
+            )

@@ -80,16 +80,26 @@ class Query:
         return self._wrap(Project(self._op, list(columns)))
 
     def order_by(
-        self, *columns: str, method: str = "auto", engine: str = "auto"
+        self,
+        *columns: str,
+        method: str = "auto",
+        engine: str = "auto",
+        workers: int | str | None = None,
     ) -> "Query":
         """Enforce a sort order, exploiting the input order if related.
 
         ``engine="fast"`` runs the sort through the packed-code kernels
         (:mod:`repro.fastpath`) — same rows and codes, no comparison
-        counts on the operator's stats.
+        counts on the operator's stats.  ``workers`` (an int or
+        ``"auto"``) shards segment-parallel order modification across
+        processes (:mod:`repro.parallel`); output is bit-identical and
+        small or unshardable jobs fall back to serial automatically.
         """
         return self._wrap(
-            Sort(self._op, SortSpec.of(*columns), method=method, engine=engine)
+            Sort(
+                self._op, SortSpec.of(*columns), method=method,
+                engine=engine, workers=workers,
+            )
         )
 
     def group_by(

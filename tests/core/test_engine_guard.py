@@ -1,0 +1,81 @@
+"""The ``engine="auto"`` guard: non-packable keys fall back, not raise.
+
+The packed codec ranks each key column by sorting its distinct values,
+which requires mutually comparable values across the *whole* column.
+The reference executors only ever compare values within a segment, so
+inputs that are per-segment uniform but globally mixed (int in one
+segment, str in another; all-``None`` segments) are perfectly legal —
+``engine="auto"`` must detect the codec's refusal and run them on the
+reference path, while an explicit ``engine="fast"`` still raises.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.modify import modify_sort_order
+from repro.model import Schema, SortSpec, Table
+from repro.ovc.derive import derive_ovcs, verify_ovcs
+
+SCHEMA = Schema.of("A", "B", "C")
+IN_SPEC = SortSpec.of("A", "B", "C")
+OUT_SPEC = SortSpec.of("A", "C", "B")
+
+
+def _mixed_type_table() -> Table:
+    """Segment A=0 carries str B/C values, segment A=1 carries ints."""
+    rows = [(0, f"b{b}", f"c{(b * 3) % 5}") for b in range(40)]
+    rows += [(1, b % 7, (b * 5) % 11) for b in range(40)]
+    rows.sort(key=lambda r: (r[0], str(r[1]), str(r[2])))
+    # Sorted within each segment by (B, C); across segments A decides.
+    rows = sorted(rows[:40], key=lambda r: (r[1], r[2])) + sorted(
+        rows[40:], key=lambda r: (r[1], r[2])
+    )
+    table = Table(SCHEMA, rows, IN_SPEC)
+    table.ovcs = derive_ovcs(rows, (0, 1, 2))
+    return table
+
+
+def _none_segment_table() -> Table:
+    """Segment A=0 has C=None throughout; segment A=1 has int C."""
+    rows = [(0, b, None) for b in range(30)]
+    rows += [(1, b % 5, (b * 7) % 13) for b in range(30)]
+    rows = rows[:30] + sorted(rows[30:], key=lambda r: (r[1], r[2]))
+    table = Table(SCHEMA, rows, IN_SPEC)
+    table.ovcs = derive_ovcs(rows, (0, 1, 2))
+    return table
+
+
+@pytest.mark.parametrize(
+    "make_table", [_mixed_type_table, _none_segment_table],
+    ids=["mixed-int-str", "none-segment"],
+)
+def test_auto_engine_falls_back_on_non_packable_keys(make_table):
+    table = make_table()
+    expected = modify_sort_order(table, OUT_SPEC, engine="reference")
+    result = modify_sort_order(table, OUT_SPEC, engine="auto")
+    assert result.rows == expected.rows
+    assert result.ovcs == expected.ovcs
+    assert verify_ovcs(
+        result.rows, result.ovcs, OUT_SPEC.positions(SCHEMA), OUT_SPEC.directions
+    )
+
+
+@pytest.mark.parametrize(
+    "make_table", [_mixed_type_table, _none_segment_table],
+    ids=["mixed-int-str", "none-segment"],
+)
+def test_explicit_fast_engine_still_raises(make_table):
+    with pytest.raises(TypeError):
+        modify_sort_order(make_table(), OUT_SPEC, engine="fast")
+
+
+def test_auto_engine_still_uses_fast_kernels_for_packable_input():
+    # Sanity: uniformly-typed input takes the fast path (no counters
+    # requested, no fan-in cap) and matches the reference engine.
+    rows = sorted((a % 4, b % 6, (a * b) % 5) for a in range(20) for b in range(10))
+    table = Table(SCHEMA, rows, IN_SPEC)
+    table.ovcs = derive_ovcs(rows, (0, 1, 2))
+    auto = modify_sort_order(table, OUT_SPEC, engine="auto")
+    ref = modify_sort_order(table, OUT_SPEC, engine="reference")
+    assert auto.rows == ref.rows and auto.ovcs == ref.ovcs

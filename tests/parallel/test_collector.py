@@ -1,0 +1,86 @@
+"""Ordered collector: reordering, buffering accounting, stats, errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ovc.stats import ComparisonStats
+from repro.parallel.collector import OrderedCollector, ShardError
+
+
+def chunk(shard, seq, rows, last=False, counters=None):
+    ovcs = [(0, r[0]) for r in rows]
+    return ("chunk", shard, seq, rows, ovcs, last, counters)
+
+
+def test_in_order_chunks_pass_straight_through():
+    c = OrderedCollector()
+    out = c.add(chunk(0, 0, [(1,), (2,)], last=True))
+    assert [rows for rows, _ in out] == [[(1,), (2,)]]
+    assert c.emitted_shards == 1 and c.received_shards == 1
+    assert c.peak_buffered_rows == 0
+    assert not c.pending()
+
+
+def test_out_of_order_shards_are_reordered():
+    c = OrderedCollector()
+    assert c.add(chunk(1, 0, [(3,)], last=True)) == []
+    assert c.buffered_rows == 1 and c.peak_buffered_rows == 1
+    out = c.add(chunk(0, 0, [(1,), (2,)], last=True))
+    assert [rows for rows, _ in out] == [[(1,), (2,)], [(3,)]]
+    assert c.buffered_rows == 0
+    assert c.emitted_shards == 2
+    assert not c.pending()
+
+
+def test_out_of_order_chunks_within_a_shard():
+    c = OrderedCollector()
+    assert c.add(chunk(0, 1, [(2,)], last=True)) == []
+    assert c.pending()
+    out = c.add(chunk(0, 0, [(1,)]))
+    assert [rows for rows, _ in out] == [[(1,)], [(2,)]]
+    assert c.emitted_shards == 1
+    assert not c.pending()
+
+
+def test_interleaved_shards_emit_in_global_order():
+    c = OrderedCollector()
+    emitted = []
+    messages = [
+        chunk(2, 0, [(5,)], last=True),
+        chunk(0, 0, [(1,)]),
+        chunk(1, 1, [(4,)], last=True),
+        chunk(0, 1, [(2,)], last=True),
+        chunk(1, 0, [(3,)]),
+    ]
+    for m in messages:
+        for rows, _ in c.add(m):
+            emitted.extend(rows)
+    assert emitted == [(1,), (2,), (3,), (4,), (5,)]
+    assert c.emitted_shards == 3
+    # At most two chunks were ever queued ahead of the frontier:
+    # shard 2's only chunk and shard 1's second chunk.
+    assert c.peak_buffered_rows == 2
+    assert not c.pending()
+
+
+def test_counters_merge_into_stats():
+    s = ComparisonStats()
+    s.column_comparisons += 7
+    s.row_comparisons += 3
+    t = ComparisonStats()
+    t.column_comparisons += 5
+    t.ovc_comparisons += 2
+
+    c = OrderedCollector()
+    c.add(chunk(0, 0, [(1,)], last=True, counters=s.as_dict()))
+    c.add(chunk(1, 0, [(2,)], last=True, counters=t.as_dict()))
+    assert c.stats.as_dict() == (s + t).as_dict()
+
+
+def test_error_message_raises_shard_error():
+    c = OrderedCollector()
+    with pytest.raises(ShardError, match="shard 3 failed") as info:
+        c.add(("error", 3, "Traceback: boom"))
+    assert info.value.shard == 3
+    assert "boom" in str(info.value)

@@ -1,0 +1,154 @@
+"""Shard planner: contiguity, coverage, balance, serial fallbacks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analysis import Strategy, analyze_order_modification
+from repro.core.classify import split_segments
+from repro.model import Schema, SortSpec
+from repro.parallel.planner import plan_shards, segment_cost
+from repro.workloads.generators import (
+    fig11_output_spec,
+    fig11_table,
+    random_sorted_table,
+)
+
+SCHEMA = Schema.of("A", "B", "C")
+IN_SPEC = SortSpec.of("A", "B", "C")
+OUT_SPEC = SortSpec.of("A", "C", "B")
+
+
+def _plan():
+    return analyze_order_modification(IN_SPEC, OUT_SPEC)
+
+
+def _table(n_rows: int, domains=(16, 8, 8), seed: int = 1):
+    return random_sorted_table(SCHEMA, IN_SPEC, n_rows, domains=list(domains), seed=seed)
+
+
+def test_shards_are_contiguous_and_cover_the_input():
+    table = _table(2000)
+    plan = _plan()
+    sp = plan_shards(
+        table.ovcs, len(table.rows), plan, Strategy.SEGMENT_SORT, 4, min_rows=0
+    )
+    assert sp.parallel and sp.reason == "parallel"
+    assert sp.shards[0].lo == 0
+    assert sp.shards[-1].hi == len(table.rows)
+    for i, shard in enumerate(sp.shards):
+        assert shard.index == i
+        assert shard.lo < shard.hi
+        if i:
+            assert shard.lo == sp.shards[i - 1].hi
+    segments = list(split_segments(table.ovcs, plan.prefix_len, len(table.rows)))
+    assert sp.n_segments == len(segments)
+    assert sum(s.n_segments for s in sp.shards) == len(segments)
+
+
+def test_shards_start_at_segment_boundaries():
+    table = _table(2000)
+    plan = _plan()
+    sp = plan_shards(
+        table.ovcs, len(table.rows), plan, Strategy.SEGMENT_SORT, 4, min_rows=0
+    )
+    starts = {
+        lo for lo, _ in split_segments(table.ovcs, plan.prefix_len, len(table.rows))
+    }
+    for shard in sp.shards:
+        assert shard.lo in starts
+
+
+def test_shard_costs_are_balanced():
+    # Uniform segments (fig11): greedy packing closes each non-final
+    # shard within one segment's cost of the target.
+    table = fig11_table(4096, 64, seed=0)
+    plan = analyze_order_modification(table.sort_spec, fig11_output_spec(8))
+    n_workers = 4
+    sp = plan_shards(
+        table.ovcs, len(table.rows), plan, Strategy.SEGMENT_SORT,
+        n_workers, min_rows=0,
+    )
+    assert sp.parallel
+    assert 2 <= len(sp.shards) <= n_workers * 4
+    target = sp.total_cost / (n_workers * 4)
+    max_segment = max(
+        segment_cost(hi - lo, hi - lo, Strategy.SEGMENT_SORT)
+        for lo, hi in split_segments(table.ovcs, plan.prefix_len, len(table.rows))
+    )
+    for shard in sp.shards[:-1]:
+        assert shard.cost >= target
+        assert shard.cost <= target + max_segment
+    assert abs(sum(s.cost for s in sp.shards) - sp.total_cost) < 1e-6
+
+
+def test_combined_strategy_prices_runs_not_rows():
+    table = fig11_table(4096, 64, seed=0)
+    plan = analyze_order_modification(table.sort_spec, fig11_output_spec(8))
+    sort_plan = plan_shards(
+        table.ovcs, len(table.rows), plan, Strategy.SEGMENT_SORT, 4, min_rows=0
+    )
+    combined_plan = plan_shards(
+        table.ovcs, len(table.rows), plan, Strategy.COMBINED, 4, min_rows=0
+    )
+    assert combined_plan.parallel
+    # Merging sqrt(n) pre-existing runs is cheaper than a full segment
+    # sort, and the planner's totals must reflect that.
+    assert combined_plan.total_cost < sort_plan.total_cost
+
+
+@pytest.mark.parametrize(
+    "n_workers,strategy,min_rows,expect",
+    [
+        (1, Strategy.SEGMENT_SORT, 0, "fewer than two workers"),
+        (4, Strategy.FULL_SORT, 0, "not segment-shardable"),
+        (4, Strategy.MERGE_RUNS, 0, "not segment-shardable"),
+        (4, Strategy.SEGMENT_SORT, 10**9, "below parallel threshold"),
+    ],
+)
+def test_serial_fallback_reasons(n_workers, strategy, min_rows, expect):
+    table = _table(2000)
+    sp = plan_shards(
+        table.ovcs, len(table.rows), _plan(), strategy, n_workers,
+        min_rows=min_rows,
+    )
+    assert not sp.parallel
+    assert expect in sp.reason
+    assert sp.shards == ()
+
+
+def test_serial_fallback_without_shared_prefix():
+    # B,A,C against A,B,C shares no prefix: one segment, nothing to shard.
+    table = _table(2000)
+    plan = analyze_order_modification(IN_SPEC, SortSpec.of("B", "A", "C"))
+    assert plan.prefix_len == 0
+    sp = plan_shards(
+        table.ovcs, len(table.rows), plan, Strategy.SEGMENT_SORT, 4, min_rows=0
+    )
+    assert not sp.parallel
+    assert "single segment" in sp.reason
+
+
+def test_serial_fallback_single_segment():
+    # Constant A: the shared prefix never breaks, so one segment.
+    table = random_sorted_table(SCHEMA, IN_SPEC, 512, domains=[1, 8, 8], seed=3)
+    sp = plan_shards(
+        table.ovcs, len(table.rows), _plan(), Strategy.SEGMENT_SORT, 4, min_rows=0
+    )
+    assert not sp.parallel
+    assert "single segment" in sp.reason
+
+
+def test_min_rows_env_default(monkeypatch):
+    import repro.parallel.planner as planner
+
+    table = _table(2000)
+    monkeypatch.setattr(planner, "MIN_PARALLEL_ROWS", 10**9)
+    sp = plan_shards(
+        table.ovcs, len(table.rows), _plan(), Strategy.SEGMENT_SORT, 4
+    )
+    assert not sp.parallel and "threshold" in sp.reason
+    monkeypatch.setattr(planner, "MIN_PARALLEL_ROWS", 0)
+    assert plan_shards(
+        table.ovcs, len(table.rows), _plan(), Strategy.SEGMENT_SORT, 4
+    ).parallel

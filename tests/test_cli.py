@@ -56,3 +56,81 @@ def test_cli_bench_writes_json(capsys, tmp_path):
         assert cell["fast_seconds"] > 0
         assert cell["reference_seconds"] > 0
         assert cell["row_comparisons"] >= 0
+
+
+def test_cli_bench_exits_nonzero_on_fidelity_failure(capsys, monkeypatch):
+    import repro.bench.trajectory as trajectory
+
+    record = {
+        "n_rows": 256,
+        "fidelity_ok": False,
+        "min_speedup": 1.0,
+        "geomean_speedup": 1.0,
+        "cells": [
+            {"label": "fake", "speedup": 1.0, "fidelity_ok": False},
+        ],
+    }
+    monkeypatch.setattr(trajectory, "run_trajectory", lambda *a, **k: record)
+    assert main(["bench", "--log2-rows", "8"]) == 1
+    assert "FIDELITY FAILURE" in capsys.readouterr().out
+
+
+def test_cli_bench_workers_writes_json(capsys, tmp_path):
+    out_path = tmp_path / "bench_parallel.json"
+    assert (
+        main(
+            [
+                "bench", "--log2-rows", "8",
+                "--workers", "1,2", "--json", str(out_path),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "serial vs parallel workers" in out
+    import json
+
+    record = json.loads(out_path.read_text())
+    assert record["n_rows"] == 256
+    assert record["workers"] == [1, 2]
+    assert record["cpu_count"] >= 1
+    assert record["fidelity_ok"] is True
+    for cell in record["cells"]:
+        assert cell["serial_seconds"] > 0
+        entry = cell["workers"]["2"]
+        assert entry["seconds"] > 0
+        assert entry["fidelity_ok"] is True
+
+
+def test_cli_bench_workers_exits_nonzero_on_fidelity_failure(
+    capsys, monkeypatch
+):
+    import repro.bench.parallel_bench as parallel_bench
+
+    record = {
+        "n_rows": 256,
+        "cpu_count": 1,
+        "fidelity_ok": False,
+        "best_speedup": 1.0,
+        "cells": [
+            {
+                "label": "fake",
+                "serial_seconds": 0.1,
+                "workers": {"2": {"seconds": 0.1, "speedup": 1.0,
+                                  "fidelity_ok": False}},
+                "fidelity_ok": False,
+            },
+        ],
+    }
+    monkeypatch.setattr(
+        parallel_bench, "run_parallel_trajectory", lambda *a, **k: record
+    )
+    assert main(["bench", "--log2-rows", "8", "--workers", "2"]) == 1
+    assert "FIDELITY FAILURE" in capsys.readouterr().out
+
+
+def test_cli_bench_rejects_malformed_workers():
+    with pytest.raises(SystemExit):
+        main(["bench", "--workers", "two"])
+    with pytest.raises(SystemExit):
+        main(["bench", "--workers", ","])
