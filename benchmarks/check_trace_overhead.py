@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Gate: disabled tracing must cost < 5% of the bench smoke wall time.
+
+The tracer's contract is that instrumentation left in the hot paths is
+(almost) free while disabled: one ``.enabled`` attribute check and a
+no-op context-manager round trip per *phase* (never per row).  This
+script verifies the budget without cross-commit timing (which is flaky
+on shared CI hosts):
+
+1. time the bench smoke workload with tracing disabled (the shipping
+   configuration) — ``T`` seconds;
+2. run it once with tracing enabled and count the spans it records —
+   ``S`` spans, an upper bound on disabled-path span() calls since the
+   kernels gate extra spans on ``TRACER.enabled``;
+3. microbench the disabled ``Tracer.span()`` no-op path — ``c``
+   seconds per call;
+4. require ``S * c < 5% * T``.
+
+Exit status is non-zero on a budget violation, so CI can gate on it.
+
+Run:  python benchmarks/check_trace_overhead.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+sys.path.insert(0, "src")
+
+from repro.core.modify import modify_sort_order  # noqa: E402
+from repro.model import Schema, SortSpec  # noqa: E402
+from repro.obs import TRACER  # noqa: E402
+from repro.workloads.generators import random_sorted_table  # noqa: E402
+
+BUDGET = 0.05
+
+
+def workload():
+    schema = Schema.of("A", "B", "C", "D")
+    table = random_sorted_table(
+        schema, SortSpec.of("A", "B", "C"), 1 << 14,
+        domains=[32, 64, 256, 8], seed=0,
+    )
+    for engine in ("reference", "fast"):
+        modify_sort_order(table, SortSpec.of("A", "C", "B"), engine=engine)
+
+
+def main() -> int:
+    TRACER.disable()
+    TRACER.reset()
+    disabled_s = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        workload()
+        disabled_s = min(disabled_s, time.perf_counter() - start)
+
+    TRACER.enable(clear=True)
+    workload()
+    n_spans = len(TRACER.drain())
+    TRACER.disable()
+    TRACER.reset()
+
+    reps = 200_000
+    start = time.perf_counter()
+    for _ in range(reps):
+        with TRACER.span("x", rows=1):
+            pass
+    per_call_s = (time.perf_counter() - start) / reps
+
+    overhead_s = n_spans * per_call_s
+    ratio = overhead_s / disabled_s
+    print(f"bench smoke (tracing disabled): {disabled_s * 1e3:.1f} ms")
+    print(f"spans recorded when enabled:    {n_spans}")
+    print(f"disabled span() no-op cost:     {per_call_s * 1e9:.0f} ns/call")
+    print(
+        f"worst-case disabled overhead:   {overhead_s * 1e6:.1f} us "
+        f"({ratio * 100:.3f}% of wall time; budget {BUDGET * 100:.0f}%)"
+    )
+    if ratio >= BUDGET:
+        print("FAIL: disabled-tracer overhead exceeds the budget")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,12 @@ Regenerates the paper's measured artifacts as text tables:
   (``--json PATH`` writes the machine-readable trajectory artifact);
   with ``--workers 1,2,4`` it instead sweeps the parallel subsystem
   (serial vs worker pools) over the Figure 11 many-segment workload;
-* ``all`` — everything above except ``bench``.
+* ``trace`` — run one Table 1 case under the span tracer and metrics
+  registry (``--case N``, ``--trace-workers W``), write the trace
+  artifact (Chrome trace-event JSON by default, JSON-lines for
+  ``*.jsonl`` paths), validate it, and print the stitched span tree
+  plus Prometheus-format metrics;
+* ``all`` — everything above except ``bench`` and ``trace``.
 
 Both bench modes verify bit-identical rows and codes in every cell and
 exit non-zero on any fidelity failure, so CI smoke runs gate
@@ -19,6 +24,9 @@ correctness, not just completion.
 
 Options: ``--rows 2**N`` via ``--log2-rows N`` (default 14), ``--seed``,
 ``--workers N[,N...]`` (bench sweep / parallel execution).
+Observability: ``--trace FILE`` records spans for any experiment and
+writes the artifact; ``--metrics`` embeds per-cell metric snapshots in
+the bench artifacts (prints Prometheus text elsewhere).
 """
 
 from __future__ import annotations
@@ -159,13 +167,20 @@ def _design(n_rows: int) -> None:
     )
 
 
-def _bench(n_rows: int, seed: int, json_path: str | None) -> int:
+def _bench(
+    n_rows: int, seed: int, json_path: str | None,
+    collect_metrics: bool = False,
+) -> int:
     from .bench.trajectory import run_trajectory, write_trajectory
 
-    record = run_trajectory(n_rows, seed=seed)
+    record = run_trajectory(n_rows, seed=seed, collect_metrics=collect_metrics)
+    display = [
+        {k: v for k, v in cell.items() if k != "metrics"}
+        for cell in record["cells"]
+    ]
     print(
         format_table(
-            record["cells"],
+            display,
             f"reference vs fast engines ({n_rows:,} rows; "
             f"min speedup {record['min_speedup']}x, "
             f"geomean {record['geomean_speedup']}x)",
@@ -193,7 +208,8 @@ def _parse_workers(spec: str) -> list[int]:
 
 
 def _bench_parallel(
-    n_rows: int, seed: int, json_path: str | None, workers: list[int]
+    n_rows: int, seed: int, json_path: str | None, workers: list[int],
+    collect_metrics: bool = False,
 ) -> int:
     from .bench.parallel_bench import (
         format_parallel_cells,
@@ -201,7 +217,9 @@ def _bench_parallel(
         write_parallel_trajectory,
     )
 
-    record = run_parallel_trajectory(n_rows, workers=workers, seed=seed)
+    record = run_parallel_trajectory(
+        n_rows, workers=workers, seed=seed, collect_metrics=collect_metrics
+    )
     print(
         format_table(
             format_parallel_cells(record),
@@ -219,6 +237,87 @@ def _bench_parallel(
     return 0
 
 
+def _write_trace_artifact(path: str, records: list[dict],
+                          metrics: dict | None, meta: dict) -> int:
+    """Write (and for Chrome traces validate) a span artifact."""
+    from .obs.exporters import (
+        validate_chrome_trace,
+        write_chrome_trace,
+        write_jsonl,
+    )
+
+    if path.endswith(".jsonl"):
+        write_jsonl(path, records, metrics=metrics, meta=meta)
+        print(f"wrote {path} ({len(records)} spans, jsonl)")
+        return 0
+    obj = write_chrome_trace(path, records, metrics=metrics)
+    errors = validate_chrome_trace(obj)
+    pids = {r["pid"] for r in records}
+    print(
+        f"wrote {path} ({len(records)} spans from "
+        f"{len(pids)} process(es), chrome trace)"
+    )
+    if errors:
+        for err in errors:
+            print(f"INVALID TRACE: {err}")
+        return 1
+    return 0
+
+
+def _trace(case: int, n_rows: int, seed: int, workers: int, out: str) -> int:
+    """Trace one Table 1 case end to end and report the timeline."""
+    from .obs import METRICS, TRACER
+    from .obs.exporters import prometheus_text, render_tree
+
+    if case not in _TABLE1:
+        raise SystemExit(f"--case must be one of {sorted(_TABLE1)}; got {case}")
+    inp, out_cols = _TABLE1[case]
+    schema = Schema.of("A", "B", "C", "D")
+    domains = {"A": 32, "B": 64, "C": 256, "D": 8}
+    table = random_sorted_table(
+        schema,
+        SortSpec(inp),
+        n_rows,
+        domains=[domains[c] for c in schema.columns],
+        seed=seed,
+    )
+    TRACER.enable(clear=True)
+    METRICS.enable(clear=True)
+    try:
+        start = time.perf_counter()
+        modify_sort_order(
+            table, SortSpec(out_cols),
+            workers=workers if workers > 1 else None,
+        )
+        elapsed = time.perf_counter() - start
+        records = TRACER.drain()
+        snapshot = METRICS.as_dict()
+    finally:
+        TRACER.disable()
+        TRACER.reset()
+        METRICS.disable()
+        METRICS.reset()
+
+    print(
+        f"case {case}: {','.join(inp)} -> {','.join(out_cols)}  "
+        f"({n_rows:,} rows, workers={workers}, {elapsed:.4f}s)"
+    )
+    print()
+    print(render_tree(records))
+    print()
+    print(prometheus_text(snapshot), end="")
+    print()
+    meta = {
+        "case": case,
+        "from": ",".join(inp),
+        "to": ",".join(out_cols),
+        "n_rows": n_rows,
+        "workers": workers,
+        "seed": seed,
+    }
+    return _write_trace_artifact(out, records, snapshot, meta)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro", description=__doc__,
@@ -226,7 +325,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=["fig10", "fig11", "table1", "design", "bench", "all"],
+        choices=["fig10", "fig11", "table1", "design", "bench", "trace", "all"],
     )
     parser.add_argument("--log2-rows", type=int, default=14)
     parser.add_argument("--seed", type=int, default=0)
@@ -243,27 +342,93 @@ def main(argv: list[str] | None = None) -> int:
         help="with 'bench': sweep the parallel subsystem at these worker"
         " counts (e.g. 1,2,4) instead of the reference-vs-fast cells",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="record spans for the run and write the artifact"
+        " (Chrome trace JSON, or JSON-lines for *.jsonl paths)",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="with 'bench': embed per-cell metric snapshots in the"
+        " artifact; otherwise print Prometheus-format metrics",
+    )
+    parser.add_argument(
+        "--case",
+        type=int,
+        default=5,
+        help="with 'trace': the Table 1 case to trace (default 5)",
+    )
+    parser.add_argument(
+        "--trace-workers",
+        type=int,
+        default=2,
+        help="with 'trace': worker processes for the traced run"
+        " (default 2)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        default="trace.json",
+        help="with 'trace': artifact path (default trace.json)",
+    )
     args = parser.parse_args(argv)
     n_rows = 1 << args.log2_rows
 
+    if args.experiment == "trace":
+        return _trace(
+            args.case, n_rows, args.seed, args.trace_workers, args.out
+        )
+
+    from .obs import METRICS, TRACER
+
+    tracing = args.trace is not None
+    if tracing:
+        TRACER.enable(clear=True)
+    plain_metrics = args.metrics and args.experiment != "bench"
+    if plain_metrics:
+        METRICS.enable(clear=True)
+
     if args.experiment == "bench":
         if args.workers:
-            return _bench_parallel(
-                n_rows, args.seed, args.json, _parse_workers(args.workers)
+            rc = _bench_parallel(
+                n_rows, args.seed, args.json, _parse_workers(args.workers),
+                collect_metrics=args.metrics,
             )
-        return _bench(n_rows, args.seed, args.json)
-    if args.experiment in ("fig10", "all"):
-        _fig10(n_rows, args.seed)
+        else:
+            rc = _bench(
+                n_rows, args.seed, args.json, collect_metrics=args.metrics
+            )
+    else:
+        rc = 0
+        if args.experiment in ("fig10", "all"):
+            _fig10(n_rows, args.seed)
+            print()
+        if args.experiment in ("fig11", "all"):
+            _fig11(n_rows, args.seed)
+            print()
+        if args.experiment in ("table1", "all"):
+            _table1(n_rows, args.seed)
+            print()
+        if args.experiment in ("design", "all"):
+            _design(n_rows)
+
+    if plain_metrics:
+        from .obs.exporters import prometheus_text
+
         print()
-    if args.experiment in ("fig11", "all"):
-        _fig11(n_rows, args.seed)
-        print()
-    if args.experiment in ("table1", "all"):
-        _table1(n_rows, args.seed)
-        print()
-    if args.experiment in ("design", "all"):
-        _design(n_rows)
-    return 0
+        print(prometheus_text(METRICS), end="")
+        METRICS.disable()
+        METRICS.reset()
+    if tracing:
+        records = TRACER.drain()
+        TRACER.disable()
+        meta = {"experiment": args.experiment, "n_rows": n_rows,
+                "seed": args.seed}
+        rc = max(rc, _write_trace_artifact(args.trace, records, None, meta))
+    return rc
 
 
 if __name__ == "__main__":

@@ -24,6 +24,7 @@ import time
 from typing import Sequence
 
 from ..core.modify import modify_sort_order
+from ..obs import METRICS
 from ..workloads.generators import fig11_output_spec, fig11_table
 
 #: (n_segments, method) cells — many segments, both shardable methods.
@@ -45,11 +46,36 @@ def _time(fn, repeats: int) -> float:
     return best
 
 
+def _snapshot_run(run) -> tuple:
+    """Run ``run()`` with metrics on; return ``(result, snapshot)``.
+
+    Only untimed verification runs go through here, so the registry's
+    bookkeeping (including the worker telemetry shipping it triggers)
+    never touches the timed measurements.
+    """
+    was_enabled = METRICS.enabled
+    METRICS.enable(clear=True)
+    try:
+        result = run()
+        return result, METRICS.as_dict()
+    finally:
+        METRICS.reset()
+        if not was_enabled:
+            METRICS.disable()
+
+
 def _cell(
     label: str, table, spec, method: str,
     workers: Sequence[int], repeats: int,
+    collect_metrics: bool = False,
 ) -> dict:
-    serial = modify_sort_order(table, spec, method=method)
+    if collect_metrics:
+        serial, serial_metrics = _snapshot_run(
+            lambda: modify_sort_order(table, spec, method=method)
+        )
+    else:
+        serial = modify_sort_order(table, spec, method=method)
+        serial_metrics = None
     serial_s = _time(
         lambda: modify_sort_order(table, spec, method=method), repeats
     )
@@ -59,10 +85,18 @@ def _cell(
         "workers": {},
         "fidelity_ok": True,
     }
+    if serial_metrics is not None:
+        cell["metrics"] = serial_metrics
     for w in workers:
         if w < 2:
             continue
-        parallel = modify_sort_order(table, spec, method=method, workers=w)
+        if collect_metrics:
+            parallel, par_metrics = _snapshot_run(
+                lambda: modify_sort_order(table, spec, method=method, workers=w)
+            )
+        else:
+            parallel = modify_sort_order(table, spec, method=method, workers=w)
+            par_metrics = None
         fidelity = (
             parallel.rows == serial.rows and parallel.ovcs == serial.ovcs
         )
@@ -76,6 +110,8 @@ def _cell(
             "speedup": round(serial_s / par_s, 2),
             "fidelity_ok": fidelity,
         }
+        if par_metrics is not None:
+            cell["workers"][str(w)]["metrics"] = par_metrics
     return cell
 
 
@@ -85,6 +121,7 @@ def run_parallel_trajectory(
     seed: int = 0,
     repeats: int = 3,
     cells: Sequence[tuple] = PARALLEL_CELLS,
+    collect_metrics: bool = False,
 ) -> dict:
     """The serial-vs-workers sweep; returns the JSON-ready record.
 
@@ -107,6 +144,7 @@ def run_parallel_trajectory(
                 _cell(
                     f"fig11 s={n_segments} {method}",
                     table, spec, method, workers, repeats,
+                    collect_metrics=collect_metrics,
                 )
             )
     finally:

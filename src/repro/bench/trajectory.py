@@ -24,6 +24,7 @@ import time
 from typing import Sequence
 
 from ..core.modify import modify_sort_order
+from ..obs import METRICS
 from ..ovc.stats import ComparisonStats
 from ..workloads.generators import (
     fig10_output_spec,
@@ -51,16 +52,49 @@ def _time(fn, repeats: int) -> float:
     return best
 
 
-def _cell(label: str, table, spec, method: str, repeats: int) -> dict:
+def _metrics_snapshot(run) -> dict:
+    """Run ``run()`` with the metrics registry on; return its snapshot.
+
+    Scoped to *untimed* verification runs only, so the registry's
+    bookkeeping never contaminates the timed measurements.  Restores
+    the registry's prior enabled state.
+    """
+    was_enabled = METRICS.enabled
+    METRICS.enable(clear=True)
+    try:
+        run()
+        return METRICS.as_dict()
+    finally:
+        METRICS.reset()
+        if not was_enabled:
+            METRICS.disable()
+
+
+def _cell(
+    label: str, table, spec, method: str, repeats: int,
+    collect_metrics: bool = False,
+) -> dict:
     """Time one (workload, method) cell with both engines.
 
     Returns the label, best-of-``repeats`` seconds per engine, the
-    speedup, and the reference engine's comparison counters.
+    speedup, and the reference engine's comparison counters; with
+    ``collect_metrics`` also a metrics snapshot of the (untimed)
+    reference verification run.
     """
     stats = ComparisonStats()
-    reference = modify_sort_order(
-        table, spec, method=method, stats=stats, engine="reference"
-    )
+    results: dict = {}
+
+    def reference_run() -> None:
+        results["reference"] = modify_sort_order(
+            table, spec, method=method, stats=stats, engine="reference"
+        )
+
+    if collect_metrics:
+        metrics = _metrics_snapshot(reference_run)
+    else:
+        metrics = None
+        reference_run()
+    reference = results["reference"]
     fast = modify_sort_order(table, spec, method=method, engine="fast")
     fidelity_ok = reference.rows == fast.rows and reference.ovcs == fast.ovcs
     ref_s = _time(
@@ -74,7 +108,7 @@ def _cell(label: str, table, spec, method: str, repeats: int) -> dict:
         lambda: modify_sort_order(table, spec, method=method, engine="fast"),
         repeats,
     )
-    return {
+    cell = {
         "label": label,
         "reference_seconds": round(ref_s, 4),
         "fast_seconds": round(fast_s, 4),
@@ -84,6 +118,9 @@ def _cell(label: str, table, spec, method: str, repeats: int) -> dict:
         "column_comparisons": stats.column_comparisons,
         "ovc_comparisons": stats.ovc_comparisons,
     }
+    if metrics is not None:
+        cell["metrics"] = metrics
+    return cell
 
 
 def run_trajectory(
@@ -92,8 +129,14 @@ def run_trajectory(
     repeats: int = 3,
     fig10_cells: Sequence[tuple] = FIG10_CELLS,
     fig11_cells: Sequence[tuple] = FIG11_CELLS,
+    collect_metrics: bool = False,
 ) -> dict:
-    """The full reference-vs-fast sweep; returns the JSON-ready record."""
+    """The full reference-vs-fast sweep; returns the JSON-ready record.
+
+    With ``collect_metrics`` each cell additionally embeds a metrics
+    snapshot (merge fan-ins, segment sizes, comparison counters) taken
+    during its untimed reference verification run.
+    """
     cells = []
     for decide, list_len in fig10_cells:
         table = fig10_table(
@@ -106,6 +149,7 @@ def run_trajectory(
                 fig10_output_spec(list_len),
                 "merge_runs",
                 repeats,
+                collect_metrics=collect_metrics,
             )
         )
     for n_segments, method in fig11_cells:
@@ -118,6 +162,7 @@ def run_trajectory(
                 fig11_output_spec(8),
                 method,
                 repeats,
+                collect_metrics=collect_metrics,
             )
         )
     speedups = [c["speedup"] for c in cells]

@@ -21,6 +21,7 @@ The rules (Section 3.4, Figures 7-9):
 
 from __future__ import annotations
 
+from ..obs import METRICS
 from ..ovc.codes import max_merge
 
 
@@ -91,6 +92,8 @@ class RunHeadChain:
 
     def save(self, ovc: tuple) -> None:
         """Record the next run's head code (paper form, input arity)."""
+        if METRICS.enabled:
+            METRICS.counter("adjust.saved_run_heads").inc()
         offset, value = ovc
         remaining = self._in_arity - offset if offset < self._in_arity else 0
         self._saved.append((remaining, value))
@@ -109,6 +112,10 @@ class RunHeadChain:
             raise ValueError(
                 f"derivation needs winner run {winner_run} < loser run {loser_run}"
             )
+        if METRICS.enabled:
+            # Each derivation is one cross-run tie resolved without
+            # touching an infix column — the paper's Section 3.4 win.
+            METRICS.counter("adjust.derived_codes").inc()
         code = self._saved[winner_run + 1]
         for j in range(winner_run + 2, loser_run + 1):
             code = max_merge(code, self._saved[j])

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
+from ..obs import METRICS, TRACER
 from ..ovc.codes import DUPLICATE, code_to_ovc
 from ..ovc.compare import (
     make_ovc_entry_comparator,
@@ -78,19 +79,22 @@ def merge_preexisting_runs(
     if max_fan_in is not None and max_fan_in < 2:
         raise ValueError("max_fan_in must be at least 2")
 
-    if use_ovc:
-        if ovcs is None:
-            raise ValueError("offset-value codes required when use_ovc is set")
-        _merge_with_codes(
-            rows, ovcs, lo, hi, plan, out_project, stats, out_rows, out_ovcs,
-            p, x, m, t, k_in, k_out, dropped, head_offset, dup_boundary,
-            max_fan_in,
-        )
-    else:
-        _merge_baseline(
-            rows, lo, hi, out_project, in_project, stats, out_rows,
-            p, x, m, k_out, head_offset,
-        )
+    with TRACER.span("segment.merge_runs", rows=hi - lo, use_ovc=use_ovc):
+        if use_ovc:
+            if ovcs is None:
+                raise ValueError(
+                    "offset-value codes required when use_ovc is set"
+                )
+            _merge_with_codes(
+                rows, ovcs, lo, hi, plan, out_project, stats, out_rows,
+                out_ovcs, p, x, m, t, k_in, k_out, dropped, head_offset,
+                dup_boundary, max_fan_in,
+            )
+        else:
+            _merge_baseline(
+                rows, lo, hi, out_project, in_project, stats, out_rows,
+                p, x, m, k_out, head_offset,
+            )
 
 
 def _merge_with_codes(
@@ -137,6 +141,15 @@ def _merge_with_codes(
                 entry.extra = []
             entry.extra.append((row, mapped))
 
+    TRACER.annotate(runs=len(runs))
+    if METRICS.enabled:
+        # Fan-in of this merge plus the pre-existing run length
+        # distribution — the work shape behind Figure 11's method 2/3.
+        METRICS.histogram("merge.fan_in").observe(len(runs))
+        run_rows = METRICS.histogram("merge.run_rows")
+        for run_entries in runs:
+            run_rows.observe(len(run_entries))
+
     def restricted_comparator(batch_base: int):
         def on_restricted_tie(a: Entry, b: Entry, a_wins: bool) -> tuple:
             # Rows from different runs, equal through all merge keys.
@@ -172,6 +185,8 @@ def _merge_with_codes(
         # runs.  The first wave still never touches infix columns (the
         # run-head chain covers its batches); later waves hold codes in
         # full output-key space, so plain code comparison applies.
+        if METRICS.enabled:
+            METRICS.counter("merge.degraded_merges").inc()
         level: list[list[Entry]] = []
         for base in range(0, len(runs), max_fan_in):
             batch = runs[base : base + max_fan_in]

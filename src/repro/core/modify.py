@@ -31,6 +31,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..model import SortSpec, Table
+from ..obs import METRICS, TRACER
 from ..ovc.derive import project_ovcs
 from ..ovc.stats import ComparisonStats
 from ..sorting.merge import _key_projector
@@ -101,6 +102,28 @@ def modify_sort_order(
     if table.sort_spec is None:
         raise ValueError("input table must declare its sort order")
     new_spec = new_order if isinstance(new_order, SortSpec) else SortSpec(new_order)
+    with TRACER.span(
+        "modify",
+        rows=len(table.rows),
+        method=method,
+        engine=engine,
+        use_ovc=use_ovc,
+    ):
+        return _modify(
+            table, new_spec, method, use_ovc, stats, max_fan_in, engine, workers
+        )
+
+
+def _modify(
+    table: Table,
+    new_spec: SortSpec,
+    method: str,
+    use_ovc: bool,
+    stats: ComparisonStats | None,
+    max_fan_in: int | None,
+    engine: str,
+    workers: int | str | None,
+) -> Table:
     plan = analyze_order_modification(table.sort_spec, new_spec)
     use_fast = engine == "fast" or (
         engine == "auto" and use_ovc and stats is None and max_fan_in is None
@@ -113,14 +136,15 @@ def modify_sort_order(
         # and re-plan against the reversed order.
         from .backward import reverse_table, reversed_spec
 
-        if use_ovc:
-            table = reverse_table(table.with_ovcs(), stats)
-        else:
-            table = Table(
-                table.schema,
-                list(reversed(table.rows)),
-                reversed_spec(table.sort_spec),
-            )
+        with TRACER.span("modify.backward", rows=len(table.rows)):
+            if use_ovc:
+                table = reverse_table(table.with_ovcs(), stats)
+            else:
+                table = Table(
+                    table.schema,
+                    list(reversed(table.rows)),
+                    reversed_spec(table.sort_spec),
+                )
         plan = analyze_order_modification(
             table.sort_spec, new_spec, allow_backward=False
         )
@@ -129,6 +153,7 @@ def modify_sort_order(
         table.with_ovcs()
 
     strategy = _resolve_strategy(plan, method, table, stats)
+    TRACER.annotate(strategy=strategy.name.lower())
 
     if workers not in (None, 0, 1) and use_ovc:
         from ..parallel.api import parallel_modify
@@ -170,41 +195,45 @@ def modify_sort_order(
         return Table(table.schema, out_rows, new_spec, out_ovcs)
 
     if strategy is Strategy.FULL_SORT:
-        for lo, hi in ((0, n),) if n else ():
-            sort_segment(
-                rows, ovcs, lo, hi, 0, new_spec.arity, out_project,
-                stats, out_rows, out_ovcs, use_ovc,
-            )
+        with TRACER.span("modify.full_sort", rows=n):
+            for lo, hi in ((0, n),) if n else ():
+                sort_segment(
+                    rows, ovcs, lo, hi, 0, new_spec.arity, out_project,
+                    stats, out_rows, out_ovcs, use_ovc,
+                )
         return Table(table.schema, out_rows, new_spec, out_ovcs)
 
     if strategy is Strategy.SEGMENT_SORT:
         boundaries = _segments(table, plan, use_ovc, in_project, stats)
-        for lo, hi in boundaries:
-            sort_segment(
-                rows, ovcs, lo, hi, plan.prefix_len, new_spec.arity,
-                out_project, stats, out_rows, out_ovcs, use_ovc,
-            )
+        with TRACER.span("modify.segment_sort", segments=len(boundaries)):
+            for lo, hi in boundaries:
+                sort_segment(
+                    rows, ovcs, lo, hi, plan.prefix_len, new_spec.arity,
+                    out_project, stats, out_rows, out_ovcs, use_ovc,
+                )
         return Table(table.schema, out_rows, new_spec, out_ovcs)
 
     if strategy is Strategy.MERGE_RUNS:
         # One pass over the whole input; prefix columns (if any) join
         # the infix in defining runs.
-        if n:
-            merge_preexisting_runs(
-                rows, ovcs, 0, n, plan, out_project, in_project,
-                stats, out_rows, out_ovcs, use_ovc, respect_prefix=False,
-                max_fan_in=max_fan_in,
-            )
+        with TRACER.span("modify.merge_runs", rows=n):
+            if n:
+                merge_preexisting_runs(
+                    rows, ovcs, 0, n, plan, out_project, in_project,
+                    stats, out_rows, out_ovcs, use_ovc, respect_prefix=False,
+                    max_fan_in=max_fan_in,
+                )
         return Table(table.schema, out_rows, new_spec, out_ovcs)
 
     # COMBINED: segments from the prefix, merge runs within each.
     boundaries = _segments(table, plan, use_ovc, in_project, stats)
-    for lo, hi in boundaries:
-        merge_preexisting_runs(
-            rows, ovcs, lo, hi, plan, out_project, in_project,
-            stats, out_rows, out_ovcs, use_ovc, respect_prefix=True,
-            max_fan_in=max_fan_in,
-        )
+    with TRACER.span("modify.combined", segments=len(boundaries)):
+        for lo, hi in boundaries:
+            merge_preexisting_runs(
+                rows, ovcs, lo, hi, plan, out_project, in_project,
+                stats, out_rows, out_ovcs, use_ovc, respect_prefix=True,
+                max_fan_in=max_fan_in,
+            )
     return Table(table.schema, out_rows, new_spec, out_ovcs)
 
 
@@ -272,6 +301,17 @@ def _resolve_strategy(
 def _segments(table, plan, use_ovc, in_project, stats):
     """Segment boundaries — from codes when available, else by
     comparing prefix columns of adjacent rows (counted)."""
+    with TRACER.span("modify.classify", prefix_len=plan.prefix_len) as sp:
+        boundaries = _segment_boundaries(table, plan, use_ovc, in_project, stats)
+        sp.set(segments=len(boundaries))
+    if METRICS.enabled:
+        hist = METRICS.histogram("modify.segment_rows")
+        for lo, hi in boundaries:
+            hist.observe(hi - lo)
+    return boundaries
+
+
+def _segment_boundaries(table, plan, use_ovc, in_project, stats):
     n = len(table.rows)
     if use_ovc:
         return list(split_segments(table.ovcs, plan.prefix_len, n))

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
+from ..obs import METRICS, TRACER
 from ..ovc.codes import code_to_ovc
 from ..ovc.compare import (
     make_ovc_entry_comparator,
@@ -54,6 +55,19 @@ def sort_segment(
     """
     if hi <= lo:
         return
+    if METRICS.enabled:
+        METRICS.histogram("segment.rows").observe(hi - lo)
+    with TRACER.span("segment.sort", rows=hi - lo, prefix_len=prefix_len):
+        _sort_segment(
+            rows, ovcs, lo, hi, prefix_len, output_arity, out_project,
+            stats, out_rows, out_ovcs, use_ovc, skip_prefix,
+        )
+
+
+def _sort_segment(
+    rows, ovcs, lo, hi, prefix_len, output_arity, out_project,
+    stats, out_rows, out_ovcs, use_ovc, skip_prefix,
+) -> None:
     p = prefix_len
     k_out = output_arity
 

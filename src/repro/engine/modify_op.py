@@ -35,6 +35,7 @@ from ..core.analysis import ModificationPlan, Strategy, analyze_order_modificati
 from ..core.merge_runs import merge_preexisting_runs
 from ..core.segmented import sort_segment
 from ..model import SortSpec
+from ..obs import METRICS, TRACER
 from ..ovc.derive import project_ovcs
 from ..sorting.merge import _key_projector
 from .operators import Operator
@@ -119,28 +120,33 @@ class StreamingModify(Operator):
             if not seg_rows:
                 return
             self.peak_segment_rows = max(self.peak_segment_rows, len(seg_rows))
+            if METRICS.enabled:
+                METRICS.gauge("streaming.buffered_rows").set(len(seg_rows))
             out_rows: list[tuple] = []
             out_ovcs: list[tuple] = []
-            if self._engine == "fast":
-                from ..fastpath.execute import fast_segment
+            with TRACER.span(
+                "streaming.segment", rows=len(seg_rows), engine=self._engine
+            ):
+                if self._engine == "fast":
+                    from ..fastpath.execute import fast_segment
 
-                out_rows, out_ovcs = fast_segment(
-                    seg_rows, seg_ovcs, plan, spec, out_positions,
-                    plan.strategy,
-                )
-            elif plan.strategy in (Strategy.MERGE_RUNS, Strategy.COMBINED):
-                merge_preexisting_runs(
-                    seg_rows, seg_ovcs, 0, len(seg_rows), plan,
-                    out_project, in_project, self.stats, out_rows, out_ovcs,
-                    use_ovc=True,
-                    respect_prefix=plan.strategy is Strategy.COMBINED,
-                )
-            else:
-                sort_segment(
-                    seg_rows, seg_ovcs, 0, len(seg_rows), plan.prefix_len,
-                    spec.arity, out_project, self.stats, out_rows, out_ovcs,
-                    use_ovc=True,
-                )
+                    out_rows, out_ovcs = fast_segment(
+                        seg_rows, seg_ovcs, plan, spec, out_positions,
+                        plan.strategy,
+                    )
+                elif plan.strategy in (Strategy.MERGE_RUNS, Strategy.COMBINED):
+                    merge_preexisting_runs(
+                        seg_rows, seg_ovcs, 0, len(seg_rows), plan,
+                        out_project, in_project, self.stats, out_rows,
+                        out_ovcs, use_ovc=True,
+                        respect_prefix=plan.strategy is Strategy.COMBINED,
+                    )
+                else:
+                    sort_segment(
+                        seg_rows, seg_ovcs, 0, len(seg_rows), plan.prefix_len,
+                        spec.arity, out_project, self.stats, out_rows,
+                        out_ovcs, use_ovc=True,
+                    )
             yield from zip(out_rows, out_ovcs)
             seg_rows.clear()
             seg_ovcs.clear()
@@ -178,6 +184,8 @@ class StreamingModify(Operator):
             strategy=plan.strategy,
             use_fast=self._engine == "fast",
             collect_stats=self._engine != "fast",
+            trace=TRACER.enabled,
+            collect_metrics=METRICS.enabled,
         )
         shard_rows = max(1, self._shard_rows)
 
@@ -207,10 +215,16 @@ class StreamingModify(Operator):
                 yield buf_rows, buf_ovcs
 
         executor = ShardExecutor(ctx, n_workers)
-        for rows_chunk, ovcs_chunk in executor.run(shards()):
-            yield from zip(rows_chunk, ovcs_chunk)
+        with TRACER.span(
+            "streaming.parallel", workers=n_workers, engine=self._engine
+        ):
+            for rows_chunk, ovcs_chunk in executor.run(shards()):
+                yield from zip(rows_chunk, ovcs_chunk)
         if executor.stats is not None:
             self.stats.merge(executor.stats)
+        from ..parallel.api import stitch_telemetry
+
+        stitch_telemetry(executor.telemetry)
 
     def _children(self) -> list[Operator]:
         return [self._child]

@@ -21,6 +21,7 @@ from typing import Sequence
 from ..core.analysis import ModificationPlan, Strategy
 from ..core.classify import split_segments
 from ..model import SortSpec, Table
+from ..obs import TRACER
 from ..ovc.derive import project_ovcs
 from ..sorting.merge import _key_projector
 from .kernels import fast_merge_runs, fast_sort_segment
@@ -92,45 +93,62 @@ def fast_modify(
     if n == 0:
         return Table(table.schema, out_rows, new_spec, out_ovcs)
 
-    keysrc, codec, colpos = _key_access(
-        rows, new_spec.positions(table.schema), new_spec.directions, k_out
-    )
+    with TRACER.span("fastpath.codec", rows=n):
+        keysrc, codec, colpos = _key_access(
+            rows, new_spec.positions(table.schema), new_spec.directions, k_out
+        )
     pos0 = colpos[0]
     p = plan.prefix_len
 
     if strategy is Strategy.FULL_SORT:
-        packed = codec.pack_range(0, k_out)
+        with TRACER.span("fastpath.pack", rows=n):
+            packed = codec.pack_range(0, k_out)
         varying = [(d, colpos[d]) for d in codec.varying_columns(0, k_out)]
-        fast_sort_segment(
-            rows, ovcs, keysrc, packed, varying, pos0, 0, n, 0, k_out,
-            out_rows, out_ovcs,
-        )
-    elif strategy is Strategy.SEGMENT_SORT:
-        start = min(p, k_out)
-        packed = codec.pack_range(start, k_out)
-        varying = [(d, colpos[d]) for d in codec.varying_columns(start, k_out)]
-        for lo, hi in split_segments(ovcs, p, n):
+        with TRACER.span("fastpath.sort", rows=n, segments=1):
             fast_sort_segment(
-                rows, ovcs, keysrc, packed, varying, pos0, lo, hi, p, k_out,
+                rows, ovcs, keysrc, packed, varying, pos0, 0, n, 0, k_out,
                 out_rows, out_ovcs,
             )
+    elif strategy is Strategy.SEGMENT_SORT:
+        start = min(p, k_out)
+        with TRACER.span("fastpath.pack", rows=n):
+            packed = codec.pack_range(start, k_out)
+        varying = [(d, colpos[d]) for d in codec.varying_columns(start, k_out)]
+        segments = split_segments(ovcs, p, n)
+        with TRACER.span("fastpath.sort", rows=n) as sp:
+            count = 0
+            for lo, hi in segments:
+                count += 1
+                fast_sort_segment(
+                    rows, ovcs, keysrc, packed, varying, pos0, lo, hi, p,
+                    k_out, out_rows, out_ovcs,
+                )
+            sp.set(segments=count)
     elif strategy is Strategy.MERGE_RUNS:
         # One pass over the whole input; runs are distinct (P, X)
         # combinations, so the restricted key starts at column 0.
-        packed = codec.pack_range(0, p + plan.merge_len)
+        with TRACER.span("fastpath.pack", rows=n):
+            packed = codec.pack_range(0, p + plan.merge_len)
         varying = [(d, colpos[d]) for d in codec.varying_columns(0, k_out)]
-        fast_merge_runs(
-            rows, ovcs, keysrc, packed, varying, pos0, 0, n, plan,
-            out_rows, out_ovcs, respect_prefix=False,
-        )
-    else:  # COMBINED
-        packed = codec.pack_range(p, p + plan.merge_len)
-        varying = [(d, colpos[d]) for d in codec.varying_columns(p, k_out)]
-        for lo, hi in split_segments(ovcs, p, n):
+        with TRACER.span("fastpath.merge", rows=n, segments=1):
             fast_merge_runs(
-                rows, ovcs, keysrc, packed, varying, pos0, lo, hi, plan,
-                out_rows, out_ovcs, respect_prefix=True,
+                rows, ovcs, keysrc, packed, varying, pos0, 0, n, plan,
+                out_rows, out_ovcs, respect_prefix=False,
             )
+    else:  # COMBINED
+        with TRACER.span("fastpath.pack", rows=n):
+            packed = codec.pack_range(p, p + plan.merge_len)
+        varying = [(d, colpos[d]) for d in codec.varying_columns(p, k_out)]
+        segments = split_segments(ovcs, p, n)
+        with TRACER.span("fastpath.merge", rows=n) as sp:
+            count = 0
+            for lo, hi in segments:
+                count += 1
+                fast_merge_runs(
+                    rows, ovcs, keysrc, packed, varying, pos0, lo, hi, plan,
+                    out_rows, out_ovcs, respect_prefix=True,
+                )
+            sp.set(segments=count)
 
     return Table(table.schema, out_rows, new_spec, out_ovcs)
 

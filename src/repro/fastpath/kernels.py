@@ -43,6 +43,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..core.analysis import ModificationPlan
+from ..obs import TRACER
 
 
 def adjacent_ovc(
@@ -84,6 +85,26 @@ def fast_sort_segment(
     """
     if hi <= lo:
         return
+    if TRACER.enabled:
+        # Per-segment spans only when someone is watching: the fast
+        # path's point is speed, so the disabled cost must stay at this
+        # one attribute check.
+        with TRACER.span("fastpath.sort_segment", rows=hi - lo):
+            _fast_sort_segment(
+                rows, ovcs, keysrc, packed, varying, pos0, lo, hi,
+                prefix_len, output_arity, out_rows, out_ovcs,
+            )
+        return
+    _fast_sort_segment(
+        rows, ovcs, keysrc, packed, varying, pos0, lo, hi,
+        prefix_len, output_arity, out_rows, out_ovcs,
+    )
+
+
+def _fast_sort_segment(
+    rows, ovcs, keysrc, packed, varying, pos0, lo, hi,
+    prefix_len, output_arity, out_rows, out_ovcs,
+) -> None:
     p = prefix_len
     k_out = output_arity
 
@@ -152,6 +173,23 @@ def fast_merge_runs(
     """
     if hi <= lo:
         return
+    if TRACER.enabled:
+        with TRACER.span("fastpath.merge_segment", rows=hi - lo):
+            _fast_merge_runs(
+                rows, ovcs, keysrc, packed, varying, pos0, lo, hi, plan,
+                out_rows, out_ovcs, respect_prefix,
+            )
+        return
+    _fast_merge_runs(
+        rows, ovcs, keysrc, packed, varying, pos0, lo, hi, plan,
+        out_rows, out_ovcs, respect_prefix,
+    )
+
+
+def _fast_merge_runs(
+    rows, ovcs, keysrc, packed, varying, pos0, lo, hi, plan,
+    out_rows, out_ovcs, respect_prefix,
+) -> None:
     x = plan.infix_len
     k_out = plan.output_arity
     dropped = plan.infix_dropped

@@ -1,0 +1,45 @@
+"""Unified observability: span tracing + metrics for the whole engine.
+
+The paper's claims are *work* claims — comparisons avoided, time spent
+per method — so this package gives every layer (core modify pipeline,
+fastpath kernels, external sort, engine operators, parallel workers)
+one way to say where the work went:
+
+* :data:`TRACER` (:mod:`repro.obs.spans`) — nestable, monotonic-clock
+  spans with a no-op singleton fast path when disabled;
+* :data:`METRICS` (:mod:`repro.obs.metrics`) — named counters, gauges,
+  and histograms generalizing
+  :class:`~repro.ovc.stats.ComparisonStats`, merged across worker
+  processes;
+* :mod:`repro.obs.exporters` — JSON-lines, Chrome trace-event (loads
+  in Perfetto), Prometheus text exposition, and a human tree view.
+
+Quick use::
+
+    from repro.obs import TRACER, METRICS
+    from repro.obs.exporters import render_tree, write_chrome_trace
+
+    TRACER.enable(); METRICS.enable()
+    ... run a modify / query / sort ...
+    print(render_tree(TRACER.records))
+    write_chrome_trace("trace.json", TRACER.drain(), METRICS.as_dict())
+
+Environment knobs: ``REPRO_TRACE=1`` / ``REPRO_METRICS=1`` enable
+collection at import; the CLI flags ``--trace FILE`` / ``--metrics``
+(``python -m repro bench``, ``python -m repro trace``) do the same per
+run and export the artifacts.
+"""
+
+from .metrics import METRICS, Counter, Gauge, Histogram, MetricsRegistry
+from .spans import NULL_SPAN, TRACER, Tracer
+
+__all__ = [
+    "TRACER",
+    "Tracer",
+    "NULL_SPAN",
+    "METRICS",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+]

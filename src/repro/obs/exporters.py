@@ -1,0 +1,296 @@
+"""Span and metric exporters: JSON-lines, Chrome trace, Prometheus, tree.
+
+Four consumers, four formats:
+
+* :func:`write_jsonl` / :func:`read_jsonl` — the lossless archival
+  format: one JSON object per line (``{"type": "span"|"metrics"|
+  "meta", ...}``), streamable and diff-able.
+* :func:`chrome_trace` — the Chrome trace-event format (``ph: "X"``
+  complete events, microsecond timestamps), loadable in Perfetto or
+  ``chrome://tracing``; per-process metadata events name the main
+  process and each worker, and worker processes sort in first-shard
+  order so the stitched timeline reads top to bottom in output order.
+* :func:`prometheus_text` — Prometheus text exposition of the metrics
+  registry (counters, gauges, histograms with power-of-two ``le``
+  buckets).
+* :func:`render_tree` — the human view: the span call tree with
+  inclusive *and* self time per node, worker/shard tags inline.
+
+:func:`validate_chrome_trace` is the schema check CI and tests run
+against emitted artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+from .metrics import MetricsRegistry
+
+# JSON-lines --------------------------------------------------------------
+
+
+def write_jsonl(
+    path: str,
+    records: Iterable[dict],
+    metrics: dict | None = None,
+    meta: dict | None = None,
+) -> None:
+    """Dump spans (and optional metrics/meta objects) one per line."""
+    with open(path, "w") as fh:
+        if meta is not None:
+            fh.write(json.dumps({"type": "meta", **meta}) + "\n")
+        for record in records:
+            fh.write(json.dumps({"type": "span", **record}) + "\n")
+        if metrics is not None:
+            fh.write(json.dumps({"type": "metrics", "metrics": metrics}) + "\n")
+
+
+def read_jsonl(path: str) -> tuple[list[dict], dict | None, dict | None]:
+    """Read a JSON-lines artifact back: ``(spans, metrics, meta)``."""
+    spans: list[dict] = []
+    metrics: dict | None = None
+    meta: dict | None = None
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            kind = obj.pop("type", "span")
+            if kind == "span":
+                spans.append(obj)
+            elif kind == "metrics":
+                metrics = obj.get("metrics")
+            elif kind == "meta":
+                meta = obj
+    return spans, metrics, meta
+
+
+# Chrome trace-event format ----------------------------------------------
+
+
+def chrome_trace(records: Iterable[dict], metrics: dict | None = None) -> dict:
+    """Convert span records to a Chrome trace-event JSON object.
+
+    Timestamps are microseconds relative to the earliest span, so the
+    viewer opens at t=0 regardless of wall-clock epoch.  Every process
+    gets a ``process_name`` metadata event; worker processes (spans
+    tagged with a shard) additionally get a ``process_sort_index`` of
+    their first shard, stitching workers in shard order.
+    """
+    records = list(records)
+    events: list[dict] = []
+    if not records:
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+    t0 = min(r["start"] for r in records)
+    pids: dict[int, dict] = {}
+    for r in records:
+        tags = r.get("tags", {})
+        info = pids.setdefault(r["pid"], {"worker": None, "first_shard": None})
+        if "worker" in tags:
+            info["worker"] = tags["worker"]
+        if "shard" in tags:
+            shard = tags["shard"]
+            if info["first_shard"] is None or shard < info["first_shard"]:
+                info["first_shard"] = shard
+        args: dict[str, Any] = dict(r.get("attrs", {}))
+        args.update(tags)
+        events.append(
+            {
+                "name": r["name"],
+                "cat": "repro",
+                "ph": "X",
+                "ts": round((r["start"] - t0) * 1e6, 3),
+                "dur": round(r["dur"] * 1e6, 3),
+                "pid": r["pid"],
+                "tid": 0,
+                "args": args,
+            }
+        )
+    for pid, info in pids.items():
+        if info["first_shard"] is not None:
+            label = f"worker pid={pid} (first shard {info['first_shard']})"
+            sort_index = 1 + info["first_shard"]
+        else:
+            label = f"main pid={pid}"
+            sort_index = 0
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": label},
+            }
+        )
+        events.append(
+            {
+                "name": "process_sort_index",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"sort_index": sort_index},
+            }
+        )
+    if metrics is not None:
+        events.append(
+            {
+                "name": "metrics",
+                "ph": "M",
+                "pid": min(pids),
+                "tid": 0,
+                "args": {"metrics": metrics},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: str, records: Iterable[dict], metrics: dict | None = None
+) -> dict:
+    """Write :func:`chrome_trace` output to ``path``; returns the object."""
+    obj = chrome_trace(records, metrics)
+    with open(path, "w") as fh:
+        json.dump(obj, fh, indent=1)
+        fh.write("\n")
+    return obj
+
+
+def validate_chrome_trace(obj: Any) -> list[str]:
+    """Schema-check a trace-event object; returns a list of problems."""
+    errors: list[str] = []
+    if not isinstance(obj, dict) or "traceEvents" not in obj:
+        return ["top level must be an object with a 'traceEvents' array"]
+    events = obj["traceEvents"]
+    if not isinstance(events, list):
+        return ["'traceEvents' must be an array"]
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            errors.append(f"event {i}: not an object")
+            continue
+        for key in ("name", "ph", "pid"):
+            if key not in ev:
+                errors.append(f"event {i}: missing {key!r}")
+        ph = ev.get("ph")
+        if ph == "X":
+            for key in ("ts", "dur"):
+                if not isinstance(ev.get(key), (int, float)):
+                    errors.append(f"event {i}: 'X' event needs numeric {key!r}")
+                elif ev[key] < 0:
+                    errors.append(f"event {i}: negative {key!r}")
+        elif ph == "M":
+            if not isinstance(ev.get("args"), dict):
+                errors.append(f"event {i}: metadata event needs 'args'")
+        elif ph is not None:
+            errors.append(f"event {i}: unsupported phase {ph!r}")
+    return errors
+
+
+# Prometheus text exposition ---------------------------------------------
+
+
+def _prom_name(name: str) -> str:
+    cleaned = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    return "repro_" + cleaned
+
+
+def prometheus_text(metrics: MetricsRegistry | dict) -> str:
+    """Render a registry (or its :meth:`~MetricsRegistry.as_dict`) as
+    Prometheus text exposition format."""
+    snap = metrics.as_dict() if isinstance(metrics, MetricsRegistry) else metrics
+    lines: list[str] = []
+    for name, value in sorted(snap.get("counters", {}).items()):
+        pname = _prom_name(name)
+        lines.append(f"# TYPE {pname} counter")
+        lines.append(f"{pname} {value}")
+    for name, g in sorted(snap.get("gauges", {}).items()):
+        pname = _prom_name(name)
+        lines.append(f"# TYPE {pname} gauge")
+        lines.append(f"{pname} {g['value']}")
+        lines.append(f"{pname}_max {g['max']}")
+    for name, h in sorted(snap.get("histograms", {}).items()):
+        pname = _prom_name(name)
+        lines.append(f"# TYPE {pname} histogram")
+        cumulative = 0
+        for bucket, n in sorted(
+            ((int(b), n) for b, n in h["buckets"].items())
+        ):
+            cumulative += n
+            lines.append(f'{pname}_bucket{{le="{2 ** bucket}"}} {cumulative}')
+        lines.append(f'{pname}_bucket{{le="+Inf"}} {h["count"]}')
+        lines.append(f"{pname}_sum {h['sum']}")
+        lines.append(f"{pname}_count {h['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# Human tree view ---------------------------------------------------------
+
+
+def _fmt_seconds(s: float) -> str:
+    if s >= 1.0:
+        return f"{s:.3f}s"
+    return f"{s * 1e3:.2f}ms"
+
+
+def _label(record: dict) -> str:
+    parts = [record["name"]]
+    tags = record.get("tags")
+    if tags:
+        parts.append(
+            "[" + " ".join(f"{k}={v}" for k, v in sorted(tags.items())) + "]"
+        )
+    attrs = record.get("attrs")
+    if attrs:
+        parts.append(" ".join(f"{k}={v}" for k, v in sorted(attrs.items())))
+    return "  ".join(parts)
+
+
+def render_tree(records: Iterable[dict], max_children: int = 64) -> str:
+    """Render spans as an indented tree with inclusive and self time.
+
+    Spans nest by their parent links within each process; processes are
+    ordered main first, then workers by first shard.  Self time is the
+    span's duration minus its direct children's durations — the work
+    the phase did itself rather than delegated.
+    """
+    records = list(records)
+    if not records:
+        return "(no spans recorded)"
+    by_key = {(r["pid"], r["id"]): r for r in records}
+    children: dict[tuple, list[dict]] = {}
+    roots: list[dict] = []
+    for r in records:
+        parent = r.get("parent")
+        key = (r["pid"], parent)
+        if parent is not None and key in by_key:
+            children.setdefault(key, []).append(r)
+        else:
+            roots.append(r)
+
+    def sort_key(r: dict) -> tuple:
+        tags = r.get("tags", {})
+        return (tags.get("shard", -1), r["start"])
+
+    lines: list[str] = []
+
+    def emit(r: dict, depth: int) -> None:
+        kids = sorted(children.get((r["pid"], r["id"]), []), key=sort_key)
+        self_s = r["dur"] - sum(k["dur"] for k in kids)
+        timing = _fmt_seconds(r["dur"])
+        if kids:
+            timing += f" (self {_fmt_seconds(max(self_s, 0.0))})"
+        lines.append(f"{'  ' * depth}{_label(r)}  {timing}")
+        shown = kids[:max_children]
+        for kid in shown:
+            emit(kid, depth + 1)
+        if len(kids) > len(shown):
+            rest = kids[len(shown):]
+            lines.append(
+                f"{'  ' * (depth + 1)}... {len(rest)} more spans "
+                f"({_fmt_seconds(sum(k['dur'] for k in rest))} total)"
+            )
+
+    for root in sorted(roots, key=sort_key):
+        emit(root, 0)
+    return "\n".join(lines)

@@ -1,0 +1,195 @@
+"""Metrics registry: named counters, gauges, and histograms.
+
+:class:`~repro.ovc.stats.ComparisonStats` counts the paper's five
+comparison-economy measures, but it is a closed dataclass — every new
+measurement (merge fan-in, run lengths, segment sizes, pool depth,
+backpressure waits) would mean another field threaded through every
+executor signature.  The registry generalizes it: any instrumented site
+names a metric and bumps it, and the whole set merges across processes
+as one plain dict (the parallel workers ship their registry deltas home
+with their final result chunk).
+
+Three instrument kinds:
+
+* :class:`Counter` — monotonically increasing total (int or float,
+  e.g. backpressure seconds).
+* :class:`Gauge` — a level that moves both ways (pool in-flight depth);
+  tracks its high-water mark, which is what merges meaningfully across
+  processes.
+* :class:`Histogram` — a distribution summarized as count/sum/min/max
+  plus power-of-two buckets (bucket ``k`` counts observations with
+  ``2**(k-1) < v <= 2**k``), which is exact enough for fan-ins and
+  segment sizes and merges by simple addition.
+
+Like the tracer, the registry is off by default and every hot call site
+gates on :attr:`MetricsRegistry.enabled`, so the disabled cost is one
+attribute check.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..ovc.stats import ComparisonStats
+
+
+class Counter:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def inc(self, n: float = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    __slots__ = ("value", "max")
+
+    def __init__(self) -> None:
+        self.value: float = 0
+        self.max: float = 0
+
+    def set(self, v: float) -> None:
+        self.value = v
+        if v > self.max:
+            self.max = v
+
+    def add(self, delta: float) -> None:
+        self.set(self.value + delta)
+
+
+class Histogram:
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total: float = 0
+        self.min: float | None = None
+        self.max: float | None = None
+        #: log2 bucket -> observation count.
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, v: float) -> None:
+        self.count += 1
+        self.total += v
+        if self.min is None or v < self.min:
+            self.min = v
+        if self.max is None or v > self.max:
+            self.max = v
+        bucket = max(0, int(v) - 1).bit_length() if v >= 0 else -1
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Create-on-demand metric store with cross-process merging."""
+
+    __slots__ = ("enabled", "_counters", "_gauges", "_histograms")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # Instrument accessors ---------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge()
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram()
+        return h
+
+    # Lifecycle --------------------------------------------------------------
+
+    def enable(self, clear: bool = True) -> None:
+        if clear:
+            self.reset()
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    # Serialization / merging ------------------------------------------------
+
+    def absorb_stats(
+        self, stats: ComparisonStats, prefix: str = "comparisons."
+    ) -> None:
+        """Publish a :class:`ComparisonStats` as named counters."""
+        for name, value in stats.as_dict().items():
+            self.counter(prefix + name).inc(value)
+
+    def as_dict(self) -> dict:
+        """Picklable/JSON-ready snapshot of every metric."""
+        return {
+            "counters": {k: c.value for k, c in self._counters.items()},
+            "gauges": {
+                k: {"value": g.value, "max": g.max}
+                for k, g in self._gauges.items()
+            },
+            "histograms": {
+                k: {
+                    "count": h.count,
+                    "sum": h.total,
+                    "min": h.min,
+                    "max": h.max,
+                    "buckets": {str(b): n for b, n in sorted(h.buckets.items())},
+                }
+                for k, h in self._histograms.items()
+            },
+        }
+
+    def merge(self, snapshot: dict | None) -> None:
+        """Fold another registry's :meth:`as_dict` into this one.
+
+        Counters and histograms add; gauges keep the highest level seen
+        anywhere (per-process levels are not meaningfully summable).
+        """
+        if not snapshot:
+            return
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, g in snapshot.get("gauges", {}).items():
+            gauge = self.gauge(name)
+            if g["max"] > gauge.max:
+                gauge.max = g["max"]
+            if g["value"] > gauge.value:
+                gauge.value = g["value"]
+        for name, h in snapshot.get("histograms", {}).items():
+            hist = self.histogram(name)
+            hist.count += h["count"]
+            hist.total += h["sum"]
+            if h["min"] is not None and (hist.min is None or h["min"] < hist.min):
+                hist.min = h["min"]
+            if h["max"] is not None and (hist.max is None or h["max"] > hist.max):
+                hist.max = h["max"]
+            for bucket, n in h["buckets"].items():
+                b = int(bucket)
+                hist.buckets[b] = hist.buckets.get(b, 0) + n
+
+
+#: The process-wide registry; ``REPRO_METRICS=1`` enables at import.
+METRICS = MetricsRegistry()
+if os.environ.get("REPRO_METRICS", "") not in ("", "0"):
+    METRICS.enable()

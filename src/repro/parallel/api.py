@@ -27,6 +27,7 @@ import os
 
 from ..core.analysis import ModificationPlan, Strategy
 from ..model import SortSpec, Table
+from ..obs import METRICS, TRACER
 from ..ovc.stats import ComparisonStats
 from .planner import ShardPlan, plan_shards
 from .pool import DEFAULT_CHUNK_ROWS, ShardExecutor
@@ -97,6 +98,8 @@ def parallel_modify(
         use_fast=_use_fast(engine, stats, max_fan_in),
         collect_stats=stats is not None,
         max_fan_in=max_fan_in,
+        trace=TRACER.enabled,
+        collect_metrics=METRICS.enabled,
     )
     executor = ShardExecutor(
         ctx, n_workers, chunk_rows=chunk_rows, start_method=start_method
@@ -107,9 +110,30 @@ def parallel_modify(
     )
     out_rows: list[tuple] = []
     out_ovcs: list[tuple] = []
-    for chunk_rows_batch, chunk_ovcs in executor.run(payloads):
-        out_rows.extend(chunk_rows_batch)
-        out_ovcs.extend(chunk_ovcs)
+    with TRACER.span(
+        "parallel.modify",
+        workers=n_workers,
+        shards=len(shard_plan.shards),
+        strategy=strategy.name.lower(),
+    ):
+        for chunk_rows_batch, chunk_ovcs in executor.run(payloads):
+            out_rows.extend(chunk_rows_batch)
+            out_ovcs.extend(chunk_ovcs)
     if stats is not None and executor.stats is not None:
         stats.merge(executor.stats)
+    stitch_telemetry(executor.telemetry)
     return Table(table.schema, out_rows, new_spec, out_ovcs)
+
+
+def stitch_telemetry(telemetry: list[tuple[int, dict]]) -> None:
+    """Fold per-shard worker telemetry into this process's collectors.
+
+    Span records (already tagged worker/shard by the worker) land in
+    the main tracer in shard order — the stitched timeline — and metric
+    snapshots merge into the main registry.
+    """
+    for _shard, shipped in telemetry:
+        if shipped.get("spans"):
+            TRACER.add_records(shipped["spans"])
+        if shipped.get("metrics"):
+            METRICS.merge(shipped["metrics"])

@@ -14,7 +14,13 @@ shard cap (its backpressure mechanism): at most ``max_inflight - 1``
 shards' outputs can ever be queued ahead of the emission frontier.
 
 Per-shard comparison counters (reference-path shards ship them on their
-final chunk) are merged into :attr:`OrderedCollector.stats`.
+final chunk) are merged into :attr:`OrderedCollector.stats`.  Per-shard
+telemetry — spans and metric snapshots recorded inside the worker,
+tagged with worker pid and shard index — is accumulated in
+:attr:`OrderedCollector.telemetry` keyed by shard, so
+:meth:`OrderedCollector.telemetry_in_shard_order` can stitch the
+workers' timelines back together in output order regardless of the
+order shards finished in.
 """
 
 from __future__ import annotations
@@ -43,6 +49,8 @@ class OrderedCollector:
         #: shard -> seq of its final chunk (known once that chunk lands).
         self._last_seq: dict[int, int] = {}
         self.stats = ComparisonStats()
+        #: shard -> telemetry dict shipped with that shard's final chunk.
+        self.telemetry: dict[int, dict] = {}
         #: Shards whose final chunk has arrived (in buffer or emitted).
         self.received_shards = 0
         #: Shards fully released downstream.
@@ -56,9 +64,11 @@ class OrderedCollector:
         if kind == "error":
             _, shard, tb = message
             raise ShardError(shard, tb)
-        _, shard, seq, rows, ovcs, last, counters = message
+        _, shard, seq, rows, ovcs, last, counters, telemetry = message
         if counters is not None:
             self.stats.merge(ComparisonStats(**counters))
+        if telemetry is not None:
+            self.telemetry[shard] = telemetry
         if last:
             self._last_seq[shard] = seq
             self.received_shards += 1
@@ -97,6 +107,14 @@ class OrderedCollector:
             ready.append((rows, ovcs))
             last = self._last_seq.get(self._next_shard) == self._next_seq
             self._advance(self._next_seq, last)
+
+    def telemetry_in_shard_order(self) -> list[tuple[int, dict]]:
+        """Shipped per-shard telemetry, sorted by shard index.
+
+        Shard index order is global output order, so stitching span
+        records in this order reconstructs the job's timeline.
+        """
+        return sorted(self.telemetry.items())
 
     def pending(self) -> bool:
         """True while buffered chunks or unfinished shards remain."""

@@ -25,8 +25,10 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from typing import Iterable, Iterator
 
+from ..obs import METRICS
 from .collector import Chunk, OrderedCollector
 from .worker import ShardContext, worker_main
 
@@ -68,6 +70,12 @@ class ShardExecutor:
         self._procs: list = []
         self.stats = None
         self.peak_buffered_rows = 0
+        #: ``(shard, telemetry)`` pairs in shard order, from workers
+        #: that recorded spans/metrics (ShardContext.trace/.collect_metrics).
+        self.telemetry: list[tuple[int, dict]] = []
+        #: Seconds the driver spent blocked on results *because* the
+        #: in-flight cap stalled feeding — the backpressure wait.
+        self.backpressure_wait_s = 0.0
 
     def _start(self):
         tasks = self._mp.Queue()
@@ -101,6 +109,7 @@ class ShardExecutor:
         source = iter(payloads)
         exhausted = False
         dispatched = 0
+        metrics_on = METRICS.enabled
         try:
             while True:
                 while (
@@ -117,10 +126,30 @@ class ShardExecutor:
                     dispatched += 1
                 if exhausted and collector.emitted_shards >= dispatched:
                     break
-                yield from collector.add(results.get())
+                inflight = dispatched - collector.emitted_shards
+                if metrics_on:
+                    METRICS.gauge("pool.inflight_shards").set(inflight)
+                # Blocked on results while more payloads wait: that is
+                # the in-flight cap pushing back on the feeder.
+                stalled = not exhausted and inflight >= self._max_inflight
+                if stalled:
+                    t0 = time.perf_counter()
+                    message = results.get()
+                    self.backpressure_wait_s += time.perf_counter() - t0
+                else:
+                    message = results.get()
+                yield from collector.add(message)
         finally:
             self.stats = collector.stats
             self.peak_buffered_rows = collector.peak_buffered_rows
+            self.telemetry = collector.telemetry_in_shard_order()
+            if metrics_on:
+                METRICS.counter("pool.backpressure_wait_seconds").inc(
+                    self.backpressure_wait_s
+                )
+                METRICS.gauge("pool.reorder_buffered_rows").set(
+                    collector.peak_buffered_rows
+                )
             self._shutdown(tasks)
             results.close()
             tasks.close()

@@ -17,6 +17,7 @@ codes — to a serial run.
 
 from __future__ import annotations
 
+import os
 import traceback
 from dataclasses import dataclass
 
@@ -43,6 +44,10 @@ class ShardContext:
     #: Ship per-shard comparison counters back for merging.
     collect_stats: bool
     max_fan_in: int | None = None
+    #: Record spans in the worker and ship them on the final chunk.
+    trace: bool = False
+    #: Record worker-side metrics and ship them on the final chunk.
+    collect_metrics: bool = False
 
 
 def execute_shard(
@@ -100,21 +105,59 @@ def worker_main(ctx, tasks, results, chunk_rows: int) -> None:
     """Worker process loop: pull shards, push chunked results.
 
     Result messages are ``("chunk", shard, seq, rows, ovcs, last,
-    counters)`` — output shipped in batches of ``chunk_rows`` rows to
-    bound per-message pickle size — or ``("error", shard, traceback)``.
-    The per-shard counters ride on the final chunk only.  A ``None``
-    task is the shutdown signal.
+    counters, telemetry)`` — output shipped in batches of
+    ``chunk_rows`` rows to bound per-message pickle size — or
+    ``("error", shard, traceback)``.  The per-shard counters and the
+    telemetry (``{"pid", "shard", "spans", "metrics"}``, recorded while
+    ``ctx.trace`` / ``ctx.collect_metrics``) ride on the final chunk
+    only; every shipped span is tagged with the worker pid and shard
+    index so the collector can stitch one cross-process timeline.  A
+    ``None`` task is the shutdown signal.
     """
+    from ..obs import METRICS, TRACER
+
+    # A forked worker inherits the parent's tracer/registry state;
+    # start from a clean slate either way so nothing ships twice.
+    if ctx.trace:
+        TRACER.enable(clear=True)
+    else:
+        TRACER.disable()
+        TRACER.reset()
+    if ctx.collect_metrics:
+        METRICS.enable(clear=True)
+    else:
+        METRICS.disable()
+        METRICS.reset()
+    pid = os.getpid()
+
     while True:
         task = tasks.get()
         if task is None:
             break
         index, rows, ovcs = task
         try:
-            out_rows, out_ovcs, counters = execute_shard(rows, ovcs, ctx)
+            with TRACER.span("shard.execute", rows=len(rows)):
+                out_rows, out_ovcs, counters = execute_shard(rows, ovcs, ctx)
         except BaseException:
             results.put(("error", index, traceback.format_exc()))
+            TRACER.reset()
+            METRICS.reset()
             continue
+        telemetry = None
+        if ctx.trace or ctx.collect_metrics:
+            spans = TRACER.drain() if ctx.trace else []
+            for record in spans:
+                tags = record.setdefault("tags", {})
+                tags["worker"] = pid
+                tags["shard"] = index
+            metrics = METRICS.as_dict() if ctx.collect_metrics else None
+            METRICS.reset()  # each shard ships its own delta exactly once
+            telemetry = {
+                "pid": pid,
+                "shard": index,
+                "spans": spans,
+                "metrics": metrics,
+            }
         n = len(out_rows)
         n_chunks = max(1, -(-n // chunk_rows))
         for seq in range(n_chunks):
@@ -130,5 +173,6 @@ def worker_main(ctx, tasks, results, chunk_rows: int) -> None:
                     out_ovcs[lo:hi],
                     last,
                     counters if last else None,
+                    telemetry if last else None,
                 )
             )

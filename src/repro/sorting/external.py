@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from ..obs import METRICS, TRACER
 from ..ovc.stats import ComparisonStats
 from ..storage.pages import IoStats, PageManager
 from .merge import kway_merge
@@ -83,28 +84,45 @@ class ExternalMergeSort:
         self.pages = page_manager if page_manager is not None else PageManager()
 
     def sort(self, rows: Sequence[tuple]) -> SortResult:
+        with TRACER.span(
+            "extsort.sort",
+            rows=len(rows),
+            capacity=self.memory_capacity,
+            fan_in=self.fan_in,
+        ):
+            return self._sort(rows)
+
+    def _sort(self, rows: Sequence[tuple]) -> SortResult:
         rungen_stats = ComparisonStats()
         merge_stats = ComparisonStats()
         io_before = self.pages.stats.snapshot()
 
-        if self.run_generation == "replacement" and self.use_ovc:
-            runs = generate_runs_replacement_selection(
-                rows,
-                self.memory_capacity,
-                self.key_positions,
-                rungen_stats,
-                self.directions,
-            )
-        else:
-            runs = generate_runs_load_sort(
-                rows,
-                self.memory_capacity,
-                self.key_positions,
-                rungen_stats,
-                self.directions,
-                self.use_ovc,
-            )
+        with TRACER.span(
+            "extsort.run_generation", mode=self.run_generation
+        ) as span:
+            if self.run_generation == "replacement" and self.use_ovc:
+                runs = generate_runs_replacement_selection(
+                    rows,
+                    self.memory_capacity,
+                    self.key_positions,
+                    rungen_stats,
+                    self.directions,
+                )
+            else:
+                runs = generate_runs_load_sort(
+                    rows,
+                    self.memory_capacity,
+                    self.key_positions,
+                    rungen_stats,
+                    self.directions,
+                    self.use_ovc,
+                )
+            span.set(runs=len(runs))
         initial_runs = len(runs)
+        if METRICS.enabled:
+            run_rows = METRICS.histogram("extsort.run_rows")
+            for run, _ovcs in runs:
+                run_rows.observe(len(run))
 
         if len(runs) <= 1:
             # Purely internal sort: no spill, no merge phase.
@@ -125,23 +143,37 @@ class ExternalMergeSort:
         levels = 0
         while len(spilled) > 1:
             levels += 1
-            next_level = []
-            for start in range(0, len(spilled), self.fan_in):
-                group = spilled[start : start + self.fan_in]
-                run_data = [run.read() for run in group]
-                merged_rows, merged_ovcs = kway_merge(
-                    run_data,
-                    self.key_positions,
-                    merge_stats,
-                    self.directions,
-                    self.use_ovc,
-                )
-                if len(spilled) > self.fan_in:
-                    # Intermediate merge step: result goes back to storage.
-                    next_level.append(self.pages.spill_run(merged_rows, merged_ovcs))
-                else:
-                    # Final merge streams to the consumer — no write-back.
-                    final = (merged_rows, merged_ovcs)
+            with TRACER.span(
+                "extsort.merge_pass", level=levels, runs_in=len(spilled)
+            ):
+                next_level = []
+                for start in range(0, len(spilled), self.fan_in):
+                    group = spilled[start : start + self.fan_in]
+                    if METRICS.enabled:
+                        METRICS.histogram("extsort.fan_in").observe(len(group))
+                    with TRACER.span("extsort.merge_step", fan_in=len(group)):
+                        run_data = [run.read() for run in group]
+                        merged_rows, merged_ovcs = kway_merge(
+                            run_data,
+                            self.key_positions,
+                            merge_stats,
+                            self.directions,
+                            self.use_ovc,
+                        )
+                    if len(spilled) > self.fan_in:
+                        # Intermediate merge step: result goes back to
+                        # storage.
+                        next_level.append(
+                            self.pages.spill_run(merged_rows, merged_ovcs)
+                        )
+                        if METRICS.enabled:
+                            METRICS.counter("extsort.respilled_rows").inc(
+                                len(merged_rows)
+                            )
+                    else:
+                        # Final merge streams to the consumer — no
+                        # write-back.
+                        final = (merged_rows, merged_ovcs)
             if len(spilled) > self.fan_in:
                 spilled = next_level
             else:

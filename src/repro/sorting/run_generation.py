@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Sequence
 
+from ..obs import TRACER
 from ..ovc.codes import DUPLICATE, code_to_ovc
 from ..ovc.compare import form_code, make_ovc_entry_comparator
 from ..ovc.stats import ComparisonStats
@@ -41,12 +42,17 @@ def generate_runs_load_sort(
     if capacity < 1:
         raise ValueError("capacity must be at least 1")
     runs: list[tuple[list[tuple], list[tuple] | None]] = []
-    for start in range(0, len(rows), capacity):
-        chunk = rows[start : start + capacity]
-        sorted_rows, ovcs = tournament_sort(
-            chunk, key_positions, stats, directions, use_ovc
-        )
-        runs.append((sorted_rows, ovcs))
+    with TRACER.span(
+        "rungen.load_sort", rows=len(rows), capacity=capacity
+    ) as span:
+        for start in range(0, len(rows), capacity):
+            chunk = rows[start : start + capacity]
+            with TRACER.span("rungen.sort_chunk", rows=len(chunk)):
+                sorted_rows, ovcs = tournament_sort(
+                    chunk, key_positions, stats, directions, use_ovc
+                )
+            runs.append((sorted_rows, ovcs))
+        span.set(runs=len(runs))
     return runs
 
 
@@ -66,6 +72,15 @@ def generate_runs_replacement_selection(
     """
     if capacity < 1:
         raise ValueError("capacity must be at least 1")
+    with TRACER.span("rungen.replacement", capacity=capacity) as span:
+        runs = _replacement_selection(
+            rows, capacity, key_positions, stats, directions
+        )
+        span.set(runs=len(runs))
+    return runs
+
+
+def _replacement_selection(rows, capacity, key_positions, stats, directions):
     positions = tuple(key_positions)
     arity = len(positions)
     ext_arity = arity + 1

@@ -7,7 +7,15 @@ statistics — the first thing anyone asks of a query engine.
 
 Probes are transparent: they forward ``(row, ovc)`` pairs, schema, and
 ordering, so instrumented plans behave identically (aside from the
-counting overhead).
+counting overhead).  Each probe reports *inclusive* time (wall time
+while the operator's iterator was live, children included) and *self*
+time (inclusive minus the children's inclusive time — pull-based
+operators interleave with their children, so subtraction is the only
+way to attribute cost to one node), plus the per-operator delta of the
+plan's shared :class:`~repro.ovc.stats.ComparisonStats`.  When the
+global tracer is enabled each probed operator also emits an
+``op.<ClassName>`` span, so plan executions land in the same timeline
+as the kernels they invoke.
 """
 
 from __future__ import annotations
@@ -16,27 +24,58 @@ import time
 from typing import Iterator
 
 from .engine.operators import Operator
+from .obs import TRACER
 from .ovc.stats import ComparisonStats
-
-#: Attributes under which our operators store their children.
-_CHILD_ATTRS = ("_child", "_left", "_right")
 
 
 class Probe(Operator):
-    """Transparent counting wrapper around one operator."""
+    """Transparent counting wrapper around one operator.
+
+    After execution:
+
+    * :attr:`rows_out` — pairs forwarded downstream;
+    * :attr:`seconds` — inclusive wall time (children included);
+    * :meth:`self_seconds` — inclusive minus direct children's
+      inclusive time;
+    * :attr:`stats_delta` — this subtree's comparison-counter delta.
+    """
 
     def __init__(self, inner: Operator) -> None:
         super().__init__(inner.schema, inner.ordering, inner.stats)
         self.inner = inner
         self.rows_out = 0
         self.seconds = 0.0
+        self.stats_delta = ComparisonStats()
 
     def __iter__(self) -> Iterator[tuple[tuple, tuple | None]]:
+        before = self.stats.snapshot()
         start = time.perf_counter()
-        for pair in self.inner:
-            self.rows_out += 1
-            yield pair
-        self.seconds += time.perf_counter() - start
+        try:
+            with TRACER.span("op." + type(self.inner).__name__):
+                for pair in self.inner:
+                    self.rows_out += 1
+                    yield pair
+        finally:
+            # try/finally (not post-loop accumulation) so a partially
+            # consumed or abandoned iterator still reports its time.
+            self.seconds += time.perf_counter() - start
+            self.stats_delta.merge(self.stats - before)
+
+    def _child_probes(self) -> list["Probe"]:
+        return [c for c in self.inner._children() if isinstance(c, Probe)]
+
+    def self_seconds(self) -> float:
+        """Inclusive time minus the direct children's inclusive time."""
+        return max(
+            0.0, self.seconds - sum(c.seconds for c in self._child_probes())
+        )
+
+    def self_stats(self) -> ComparisonStats:
+        """This operator's own comparison work, children subtracted."""
+        spent = self.stats_delta
+        for child in self._child_probes():
+            spent = spent - child.stats_delta
+        return spent
 
     def _children(self) -> list[Operator]:
         return self.inner._children()
@@ -46,13 +85,53 @@ class Probe(Operator):
 
 
 def instrument(op: Operator) -> Operator:
-    """Recursively wrap an operator tree in probes (in place for
-    children, returning the probed root)."""
-    for attr in _CHILD_ATTRS:
-        child = getattr(op, attr, None)
-        if isinstance(child, Operator):
-            setattr(op, attr, instrument(child))
+    """Recursively wrap an operator tree in probes.
+
+    Children are discovered through each operator's own
+    :meth:`~repro.engine.operators.Operator._children` — not a
+    hard-coded attribute list — so operators that hold children in a
+    list or tuple (e.g. an n-ary union) get probed too.  The attribute
+    (or list/tuple slot) holding each child is rebound in place to the
+    probed child, and the probed root is returned.
+    """
+    child_ids = {id(child) for child in op._children()}
+    if child_ids:
+        probed: dict[int, Operator] = {}
+
+        def wrap(value: Operator) -> Operator:
+            if id(value) not in probed:
+                probed[id(value)] = instrument(value)
+            return probed[id(value)]
+
+        for name, value in list(vars(op).items()):
+            if isinstance(value, Operator) and id(value) in child_ids:
+                setattr(op, name, wrap(value))
+            elif isinstance(value, (list, tuple)) and any(
+                isinstance(v, Operator) and id(v) in child_ids for v in value
+            ):
+                rebound = [
+                    wrap(v)
+                    if isinstance(v, Operator) and id(v) in child_ids
+                    else v
+                    for v in value
+                ]
+                setattr(
+                    op,
+                    name,
+                    tuple(rebound) if isinstance(value, tuple) else rebound,
+                )
     return Probe(op)
+
+
+def _fmt_stats(spent: ComparisonStats) -> str:
+    parts = []
+    if spent.column_comparisons:
+        parts.append(f"cols={spent.column_comparisons:,}")
+    if spent.ovc_comparisons:
+        parts.append(f"codes={spent.ovc_comparisons:,}")
+    if spent.row_comparisons:
+        parts.append(f"rows={spent.row_comparisons:,}")
+    return f"  [{' '.join(parts)}]" if parts else ""
 
 
 def _render(node: Operator, indent: int, lines: list[str]) -> None:
@@ -62,6 +141,8 @@ def _render(node: Operator, indent: int, lines: list[str]) -> None:
             f"{'  ' * indent}{inner.__class__.__name__}"
             f"{inner._explain_detail()}"
             f"  -> {node.rows_out:,} rows in {node.seconds:.4f}s"
+            f" (self {node.self_seconds():.4f}s)"
+            f"{_fmt_stats(node.self_stats())}"
         )
         lines.append(label)
         for child in inner._children():
@@ -77,6 +158,8 @@ def explain_analyze(op: Operator) -> tuple[list[tuple], str]:
 
     The operator's shared :class:`ComparisonStats` is snapshotted
     around the run, so the report shows only this execution's work.
+    Each plan line carries inclusive and self time plus the operator's
+    own comparison-counter delta.
     """
     stats: ComparisonStats = op.stats
     before = stats.snapshot()

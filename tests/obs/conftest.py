@@ -1,0 +1,21 @@
+"""Shared fixture: leave the global tracer/registry as we found them."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import METRICS, TRACER
+
+
+@pytest.fixture(autouse=True)
+def clean_observability():
+    """Disable and reset the process-wide tracer/registry around each test."""
+    TRACER.disable()
+    TRACER.reset()
+    METRICS.disable()
+    METRICS.reset()
+    yield
+    TRACER.disable()
+    TRACER.reset()
+    METRICS.disable()
+    METRICS.reset()

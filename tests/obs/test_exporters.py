@@ -1,0 +1,129 @@
+"""Exporters: JSONL round-trip, Chrome trace schema, Prometheus, tree."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs.exporters import (
+    chrome_trace,
+    prometheus_text,
+    read_jsonl,
+    render_tree,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+def _spans() -> list[dict]:
+    tracer = Tracer()
+    tracer.enable()
+    with tracer.span("modify", rows=100):
+        with tracer.span("segment.sort", rows=40):
+            pass
+        with tracer.span("segment.sort", rows=60):
+            pass
+    worker_span = {
+        "name": "shard.execute", "start": tracer.records[0]["start"],
+        "dur": 0.01, "pid": 9999, "id": 1, "parent": None,
+        "tags": {"worker": 9999, "shard": 0},
+    }
+    return tracer.drain() + [worker_span]
+
+
+def _metrics() -> dict:
+    reg = MetricsRegistry()
+    reg.counter("merge.degraded_merges").inc(2)
+    reg.gauge("pool.inflight_shards").set(3)
+    for v in (1, 2, 16):
+        reg.histogram("merge.fan_in").observe(v)
+    return reg.as_dict()
+
+
+def test_jsonl_round_trip_preserves_spans_metrics_meta(tmp_path):
+    path = str(tmp_path / "trace.jsonl")
+    spans, metrics = _spans(), _metrics()
+    write_jsonl(path, spans, metrics=metrics, meta={"case": 5})
+    got_spans, got_metrics, got_meta = read_jsonl(path)
+    assert got_spans == spans
+    assert got_metrics == metrics
+    assert got_meta == {"case": 5}
+
+
+def test_jsonl_reloaded_spans_make_a_valid_chrome_trace(tmp_path):
+    path = str(tmp_path / "trace.jsonl")
+    write_jsonl(path, _spans(), metrics=_metrics())
+    spans, metrics, _meta = read_jsonl(path)
+    obj = chrome_trace(spans, metrics)
+    assert validate_chrome_trace(obj) == []
+
+
+def test_chrome_trace_structure_and_process_metadata(tmp_path):
+    obj = write_chrome_trace(str(tmp_path / "trace.json"), _spans())
+    reloaded = json.load(open(tmp_path / "trace.json"))
+    assert reloaded == obj
+    events = obj["traceEvents"]
+    x_events = [e for e in events if e["ph"] == "X"]
+    assert {e["name"] for e in x_events} == {
+        "modify", "segment.sort", "shard.execute"
+    }
+    assert all(e["ts"] >= 0 and e["dur"] >= 0 for e in x_events)
+    names = {
+        e["pid"]: e["args"]["name"]
+        for e in events
+        if e["name"] == "process_name"
+    }
+    assert any(v.startswith("main") for v in names.values())
+    assert names[9999] == "worker pid=9999 (first shard 0)"
+    sort_keys = {
+        e["pid"]: e["args"]["sort_index"]
+        for e in events
+        if e["name"] == "process_sort_index"
+    }
+    assert sort_keys[9999] == 1  # 1 + first shard
+
+
+def test_validate_chrome_trace_flags_malformed_input():
+    assert validate_chrome_trace([]) != []
+    assert validate_chrome_trace({"traceEvents": "nope"}) != []
+    errors = validate_chrome_trace(
+        {"traceEvents": [{"ph": "X", "pid": 1}, {"name": "m", "ph": "M",
+                         "pid": 1}]}
+    )
+    assert any("missing 'name'" in e for e in errors)
+    assert any("needs numeric" in e for e in errors)
+    assert any("needs 'args'" in e for e in errors)
+    assert validate_chrome_trace({"traceEvents": []}) == []
+
+
+def test_prometheus_text_format():
+    text = prometheus_text(_metrics())
+    assert "# TYPE repro_merge_degraded_merges counter" in text
+    assert "repro_merge_degraded_merges 2" in text
+    assert "repro_pool_inflight_shards_max 3" in text
+    # Cumulative power-of-two buckets: le=2 covers the 1 and 2 observations.
+    assert 'repro_merge_fan_in_bucket{le="2"} 2' in text
+    assert 'repro_merge_fan_in_bucket{le="+Inf"} 3' in text
+    assert "repro_merge_fan_in_count 3" in text
+
+
+def test_render_tree_shows_nesting_and_self_time():
+    text = render_tree(_spans())
+    lines = text.splitlines()
+    assert lines[0].startswith("modify")
+    assert "(self " in lines[0]  # inclusive and self time on parents
+    assert lines[1].startswith("  segment.sort")
+    assert any("shard.execute" in l and "worker=9999" in l for l in lines)
+    assert render_tree([]) == "(no spans recorded)"
+
+
+def test_render_tree_elides_very_wide_fanouts():
+    tracer = Tracer()
+    tracer.enable()
+    with tracer.span("parent"):
+        for i in range(70):
+            with tracer.span("kid", i=i):
+                pass
+    text = render_tree(tracer.drain(), max_children=64)
+    assert "... 6 more spans" in text

@@ -8,9 +8,9 @@ from repro.ovc.stats import ComparisonStats
 from repro.parallel.collector import OrderedCollector, ShardError
 
 
-def chunk(shard, seq, rows, last=False, counters=None):
+def chunk(shard, seq, rows, last=False, counters=None, telemetry=None):
     ovcs = [(0, r[0]) for r in rows]
-    return ("chunk", shard, seq, rows, ovcs, last, counters)
+    return ("chunk", shard, seq, rows, ovcs, last, counters, telemetry)
 
 
 def test_in_order_chunks_pass_straight_through():
@@ -76,6 +76,15 @@ def test_counters_merge_into_stats():
     c.add(chunk(0, 0, [(1,)], last=True, counters=s.as_dict()))
     c.add(chunk(1, 0, [(2,)], last=True, counters=t.as_dict()))
     assert c.stats.as_dict() == (s + t).as_dict()
+
+
+def test_telemetry_collected_in_shard_order():
+    c = OrderedCollector()
+    tel1 = {"pid": 42, "shard": 1, "spans": [], "metrics": None}
+    tel0 = {"pid": 41, "shard": 0, "spans": [], "metrics": None}
+    c.add(chunk(1, 0, [(2,)], last=True, telemetry=tel1))
+    c.add(chunk(0, 0, [(1,)], last=True, telemetry=tel0))
+    assert c.telemetry_in_shard_order() == [(0, tel0), (1, tel1)]
 
 
 def test_error_message_raises_shard_error():

@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.engine import Filter, GroupBy, MergeJoin, Sort, TableScan
+from repro.engine.operators import Operator
 from repro.model import Schema, SortSpec, Table
 from repro.query import Query
-from repro.trace import explain_analyze, instrument
+from repro.trace import Probe, explain_analyze, instrument
 from repro.workloads.generators import random_sorted_table
 
 SCHEMA = Schema.of("A", "B", "C")
@@ -64,3 +67,71 @@ def test_query_facade_integration():
     rows, report = explain_analyze(q.op)
     assert sum(r[1] for r in rows) == len(table)
     assert "GroupBy" in report and "Sort" in report
+
+
+class ListConcat(Operator):
+    """Synthetic n-ary operator holding its children in a list."""
+
+    def __init__(self, children):
+        super().__init__(children[0].schema, None, children[0].stats)
+        self._inputs = list(children)
+
+    def __iter__(self):
+        for child in self._inputs:
+            for row, _ovc in child:
+                yield row, None
+
+    def _children(self):
+        return list(self._inputs)
+
+
+def test_instrument_probes_list_held_children():
+    t1, t2 = make_table(50), make_table(60, seed=2)
+    op = ListConcat([TableScan(t1), TableScan(t2)])
+    root = instrument(op)
+    rows = [row for row, _ in root]
+    assert rows == t1.rows + t2.rows
+    # Both list-held scans were wrapped and counted.
+    probes = [c for c in op._children() if isinstance(c, Probe)]
+    assert len(probes) == 2
+    assert [p.rows_out for p in probes] == [50, 60]
+    assert "TableScan" in explain_analyze(
+        ListConcat([TableScan(t1), TableScan(t2)])
+    )[1]
+
+
+def test_probe_reports_inclusive_and_self_time():
+    table = make_table(500)
+    op = Filter(TableScan(table), lambda r: True)
+    root = instrument(op)
+    list(root)
+    scan_probe = root.inner._children()[0]
+    assert isinstance(scan_probe, Probe)
+    # Inclusive time of the parent covers the child's inclusive time;
+    # self time excludes it.
+    assert root.seconds >= scan_probe.seconds
+    assert root.self_seconds() <= root.seconds
+    assert root.self_seconds() == pytest.approx(
+        root.seconds - scan_probe.seconds
+    )
+
+
+def test_probe_self_stats_subtract_children():
+    table = make_table()
+    sort = Sort(TableScan(table), SortSpec.of("B", "A"))
+    root = instrument(sort)
+    list(root)
+    scan_probe = root.inner._children()[0]
+    # The sort did the comparisons, not the scan.
+    assert root.self_stats().row_comparisons == \
+        root.stats_delta.row_comparisons \
+        - scan_probe.stats_delta.row_comparisons
+    assert root.stats_delta.row_comparisons > 0
+
+
+def test_report_shows_self_time_and_comparison_deltas():
+    table = make_table()
+    _rows, report = explain_analyze(Sort(TableScan(table), SortSpec.of("C")))
+    sort_line = next(l for l in report.splitlines() if "Sort" in l)
+    assert "(self " in sort_line
+    assert "cols=" in sort_line or "codes=" in sort_line
