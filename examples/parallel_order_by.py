@@ -22,6 +22,7 @@ import os
 import time
 
 import repro.parallel.planner as planner
+from repro.exec import ExecutionConfig
 from repro.query import Query
 from repro.workloads.retail import make_retail_workload
 
@@ -43,13 +44,21 @@ def main() -> None:
     serial_s = time.perf_counter() - start
 
     start = time.perf_counter()
-    auto = Query(w.orders).order_by(*order, workers="auto").to_table()
+    auto = (
+        Query(w.orders)
+        .order_by(*order, config=ExecutionConfig(workers="auto"))
+        .to_table()
+    )
     auto_s = time.perf_counter() - start
 
     # Force a 2-process pool even on a single-core box, so the demo
     # always exercises worker processes and the ordered collector.
     start = time.perf_counter()
-    pooled = Query(w.orders).order_by(*order, workers=2).to_table()
+    pooled = (
+        Query(w.orders)
+        .order_by(*order, config=ExecutionConfig(workers=2))
+        .to_table()
+    )
     pooled_s = time.perf_counter() - start
 
     for result in (auto, pooled):

@@ -22,6 +22,7 @@ import tempfile
 
 import repro.parallel.planner as planner
 from repro.core.modify import modify_sort_order
+from repro.exec import ExecutionConfig
 from repro.model import Schema, SortSpec
 from repro.obs import METRICS, TRACER
 from repro.obs.exporters import (
@@ -51,7 +52,9 @@ def main() -> None:
     )
     TRACER.enable(clear=True)
     METRICS.enable(clear=True)
-    modify_sort_order(table, SortSpec.of("A", "C", "B"), workers=2)
+    modify_sort_order(
+        table, SortSpec.of("A", "C", "B"), config=ExecutionConfig(workers=2)
+    )
     records = TRACER.drain()
     snapshot = METRICS.as_dict()
     TRACER.disable()

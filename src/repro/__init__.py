@@ -24,6 +24,7 @@ from .ovc.stats import ComparisonStats
 from .core.analysis import ModificationPlan, Strategy, analyze_order_modification
 from .core.modify import modify_sort_order
 from .core.external_modify import modify_sort_order_external
+from .exec import ExecutionConfig, RetryPolicy
 from .parallel.api import parallel_modify, resolve_workers
 from .query import Query
 from .trace import explain_analyze
@@ -42,6 +43,8 @@ __all__ = [
     "analyze_order_modification",
     "modify_sort_order",
     "modify_sort_order_external",
+    "ExecutionConfig",
+    "RetryPolicy",
     "parallel_modify",
     "resolve_workers",
     "Query",

@@ -27,6 +27,14 @@ Options: ``--rows 2**N`` via ``--log2-rows N`` (default 14), ``--seed``,
 Observability: ``--trace FILE`` records spans for any experiment and
 writes the artifact; ``--metrics`` embeds per-cell metric snapshots in
 the bench artifacts (prints Prometheus text elsewhere).
+
+Resource governance (:mod:`repro.exec`): ``--memory-budget 64MiB``
+caps the per-query buffered bytes (excess spills to disk, output
+bit-identical), ``--spill-dir`` picks where spill files land,
+``--shard-timeout``/``--shard-retries`` set the worker pool's fault
+policy.  The same knobs are honored from the environment
+(``REPRO_MEMORY_BUDGET``, ``REPRO_SPILL_DIR``, ``REPRO_SHARD_TIMEOUT``,
+``REPRO_SHARD_RETRIES``); command-line flags win.
 """
 
 from __future__ import annotations
@@ -42,10 +50,28 @@ from .bench.figures import (
 )
 from .bench.harness import format_table
 from .core.modify import modify_sort_order
+from .exec import ExecutionConfig
 from .model import SortSpec
 from .ovc.stats import ComparisonStats
 from .workloads.generators import random_sorted_table
 from .model import Schema
+
+
+def _exec_config(args, workers: int | str | None = None) -> ExecutionConfig:
+    """The run's ExecutionConfig: environment defaults, flags override."""
+    cfg = ExecutionConfig.from_env()
+    overrides: dict = {}
+    if workers is not None:
+        overrides["workers"] = workers
+    if args.memory_budget is not None:
+        overrides["memory_budget"] = args.memory_budget
+    if args.spill_dir is not None:
+        overrides["spill_dir"] = args.spill_dir
+    if args.shard_timeout is not None:
+        overrides["shard_timeout_s"] = args.shard_timeout
+    if args.shard_retries is not None:
+        overrides["shard_retries"] = args.shard_retries
+    return cfg.with_(**overrides) if overrides else cfg
 
 
 def _fig10(n_rows: int, seed: int) -> None:
@@ -82,7 +108,7 @@ _TABLE1 = {
 }
 
 
-def _table1(n_rows: int, seed: int) -> None:
+def _table1(n_rows: int, seed: int, cfg: ExecutionConfig | None = None) -> None:
     schema = Schema.of("A", "B", "C", "D")
     domains = {"A": 32, "B": 64, "C": 256, "D": 8}
     rows_out = []
@@ -98,7 +124,9 @@ def _table1(n_rows: int, seed: int) -> None:
         for method in ("auto", "full_sort"):
             stats = ComparisonStats()
             start = time.perf_counter()
-            modify_sort_order(table, SortSpec(out), method=method, stats=stats)
+            modify_sort_order(
+                table, SortSpec(out), method=method, stats=stats, config=cfg
+            )
             cells[f"{method}_s"] = round(time.perf_counter() - start, 4)
             cells[f"{method}_colcmp"] = stats.column_comparisons
         rows_out.append(cells)
@@ -264,7 +292,10 @@ def _write_trace_artifact(path: str, records: list[dict],
     return 0
 
 
-def _trace(case: int, n_rows: int, seed: int, workers: int, out: str) -> int:
+def _trace(
+    case: int, n_rows: int, seed: int, workers: int, out: str,
+    cfg: ExecutionConfig | None = None,
+) -> int:
     """Trace one Table 1 case end to end and report the timeline."""
     from .obs import METRICS, TRACER
     from .obs.exporters import prometheus_text, render_tree
@@ -285,10 +316,10 @@ def _trace(case: int, n_rows: int, seed: int, workers: int, out: str) -> int:
     METRICS.enable(clear=True)
     try:
         start = time.perf_counter()
-        modify_sort_order(
-            table, SortSpec(out_cols),
-            workers=workers if workers > 1 else None,
+        run_cfg = (cfg or ExecutionConfig.from_env()).with_(
+            workers=workers if workers > 1 else None
         )
+        modify_sort_order(table, SortSpec(out_cols), config=run_cfg)
         elapsed = time.perf_counter() - start
         records = TRACER.drain()
         snapshot = METRICS.as_dict()
@@ -374,12 +405,44 @@ def main(argv: list[str] | None = None) -> int:
         default="trace.json",
         help="with 'trace': artifact path (default trace.json)",
     )
+    parser.add_argument(
+        "--memory-budget",
+        metavar="BYTES",
+        default=None,
+        help="per-query memory budget (e.g. 64MiB); buffered output"
+        " beyond it spills to disk, output stays bit-identical",
+    )
+    parser.add_argument(
+        "--spill-dir",
+        metavar="DIR",
+        default=None,
+        help="directory for budget-triggered spill files"
+        " (default: system temp)",
+    )
+    parser.add_argument(
+        "--shard-timeout",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="per-shard execution deadline for parallel runs; a shard"
+        " past it is retried on a fresh worker",
+    )
+    parser.add_argument(
+        "--shard-retries",
+        type=int,
+        metavar="N",
+        default=None,
+        help="pooled attempts to retry a failed shard before it is"
+        " quarantined to serial execution (default 1)",
+    )
     args = parser.parse_args(argv)
     n_rows = 1 << args.log2_rows
+    cfg = _exec_config(args)
 
     if args.experiment == "trace":
         return _trace(
-            args.case, n_rows, args.seed, args.trace_workers, args.out
+            args.case, n_rows, args.seed, args.trace_workers, args.out,
+            cfg=cfg,
         )
 
     from .obs import METRICS, TRACER
@@ -410,7 +473,7 @@ def main(argv: list[str] | None = None) -> int:
             _fig11(n_rows, args.seed)
             print()
         if args.experiment in ("table1", "all"):
-            _table1(n_rows, args.seed)
+            _table1(n_rows, args.seed, cfg=cfg)
             print()
         if args.experiment in ("design", "all"):
             _design(n_rows)

@@ -24,6 +24,7 @@ import time
 from typing import Sequence
 
 from ..core.modify import modify_sort_order
+from ..exec import ExecutionConfig
 from ..obs import METRICS
 from ..workloads.generators import fig11_output_spec, fig11_table
 
@@ -90,19 +91,20 @@ def _cell(
     for w in workers:
         if w < 2:
             continue
+        cfg = ExecutionConfig(workers=w)
         if collect_metrics:
             parallel, par_metrics = _snapshot_run(
-                lambda: modify_sort_order(table, spec, method=method, workers=w)
+                lambda: modify_sort_order(table, spec, method=method, config=cfg)
             )
         else:
-            parallel = modify_sort_order(table, spec, method=method, workers=w)
+            parallel = modify_sort_order(table, spec, method=method, config=cfg)
             par_metrics = None
         fidelity = (
             parallel.rows == serial.rows and parallel.ovcs == serial.ovcs
         )
         cell["fidelity_ok"] = cell["fidelity_ok"] and fidelity
         par_s = _time(
-            lambda: modify_sort_order(table, spec, method=method, workers=w),
+            lambda: modify_sort_order(table, spec, method=method, config=cfg),
             repeats,
         )
         cell["workers"][str(w)] = {

@@ -24,6 +24,7 @@ import time
 from typing import Sequence
 
 from ..core.modify import modify_sort_order
+from ..exec import ExecutionConfig
 from ..obs import METRICS
 from ..ovc.stats import ComparisonStats
 from ..workloads.generators import (
@@ -32,6 +33,9 @@ from ..workloads.generators import (
     fig11_output_spec,
     fig11_table,
 )
+
+_REFERENCE = ExecutionConfig(engine="reference")
+_FAST = ExecutionConfig(engine="fast")
 
 FIG10_CELLS = tuple(
     (decide, list_len) for decide in ("first", "last") for list_len in (2, 8, 16)
@@ -86,7 +90,7 @@ def _cell(
 
     def reference_run() -> None:
         results["reference"] = modify_sort_order(
-            table, spec, method=method, stats=stats, engine="reference"
+            table, spec, method=method, stats=stats, config=_REFERENCE
         )
 
     if collect_metrics:
@@ -95,17 +99,17 @@ def _cell(
         metrics = None
         reference_run()
     reference = results["reference"]
-    fast = modify_sort_order(table, spec, method=method, engine="fast")
+    fast = modify_sort_order(table, spec, method=method, config=_FAST)
     fidelity_ok = reference.rows == fast.rows and reference.ovcs == fast.ovcs
     ref_s = _time(
         lambda: modify_sort_order(
             table, spec, method=method, stats=ComparisonStats(),
-            engine="reference",
+            config=_REFERENCE,
         ),
         repeats,
     )
     fast_s = _time(
-        lambda: modify_sort_order(table, spec, method=method, engine="fast"),
+        lambda: modify_sort_order(table, spec, method=method, config=_FAST),
         repeats,
     )
     cell = {

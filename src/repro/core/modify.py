@@ -13,23 +13,36 @@ orders, picks (or is told) a strategy, and executes it:
 * ``full_sort`` — tournament sort from scratch, the honest fallback.
 * ``auto`` — compile-time analysis plus the cost model decide.
 
-Orthogonal to the strategy, ``engine`` selects *how* the chosen
-strategy executes:
+Orthogonal to the strategy, an :class:`~repro.exec.ExecutionConfig`
+selects *how* the chosen strategy executes — engine (reference vs.
+packed-code fast path), worker processes, merge fan-in cap, memory
+budget with spill-to-disk, and the pool's retry/timeout policy::
 
-* ``reference`` — the instrumented executors (tournament trees,
-  per-comparison counters): the path that demonstrates the paper's
-  comparison economics.
-* ``fast`` — the packed-code batch kernels of :mod:`repro.fastpath`:
-  bit-identical rows and codes, no counters, several times faster.
-* ``auto`` — ``fast`` whenever the caller did not ask for anything
-  only the reference path provides: no ``stats`` collector was passed,
-  codes are in use, and no ``max_fan_in`` cap was requested.
+    from repro.exec import ExecutionConfig
+
+    cfg = ExecutionConfig(workers=4, memory_budget="64MiB")
+    result = modify_sort_order(table, new_order, config=cfg)
+
+The pre-4 ``engine=`` / ``workers=`` / ``max_fan_in=`` kwargs still
+work for one release (folded into a config with a
+``DeprecationWarning`` by :mod:`repro.exec.compat`).
+
+With a memory budget, buffered output runs are charged to a
+:class:`~repro.exec.memory.MemoryAccountant` and spill to disk
+whenever the budget is exceeded; governed runs return bit-identical
+rows, codes, *and* comparison counts — the budget changes where bytes
+live, never what work happens.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
+from ..exec.buffers import GovernedSink
+from ..exec.compat import resolve_config
+from ..exec.config import ExecutionConfig
+from ..exec.memory import MemoryAccountant, activate
+from ..exec.spill import SpillManager
 from ..model import SortSpec, Table
 from ..obs import METRICS, TRACER
 from ..ovc.derive import project_ovcs
@@ -50,8 +63,6 @@ _METHODS = {
     "full_sort",
 }
 
-_ENGINES = {"auto", "reference", "fast"}
-
 
 def modify_sort_order(
     table: Table,
@@ -60,8 +71,9 @@ def modify_sort_order(
     use_ovc: bool = True,
     stats: ComparisonStats | None = None,
     max_fan_in: int | None = None,
-    engine: str = "auto",
+    engine: str | None = None,
     workers: int | str | None = None,
+    config: ExecutionConfig | None = None,
 ) -> Table:
     """Return ``table``'s rows sorted on ``new_order``.
 
@@ -73,31 +85,42 @@ def modify_sort_order(
     ``method`` forces a strategy; ``auto`` uses the compile-time
     analysis and, where the decomposition leaves a choice, the cost
     model.  Stable strategies preserve the input order among rows equal
-    under the new key.  ``max_fan_in`` caps the runs merged per step
-    (graceful degradation to multi-step merges beyond it).
+    under the new key.
 
-    ``engine`` picks the executor: ``reference`` (instrumented),
-    ``fast`` (packed-code kernels, bit-identical output, no counters),
-    or ``auto`` — fast exactly when no ``stats`` collector was passed,
-    ``use_ovc`` is set, and ``max_fan_in`` is unset.  A forced ``fast``
-    engine leaves any passed ``stats`` untouched and executes
-    ``max_fan_in`` as a single-wave merge (the capped reference merge
-    produces the same rows and codes, only its counters differ).
-    With ``engine="auto"``, key columns the packed codec cannot rank
-    (mixed value types, ``None``) silently fall back to the reference
-    executors; a forced ``fast`` engine propagates the ``TypeError``.
+    ``config`` governs execution (see :class:`repro.exec.
+    ExecutionConfig`); when omitted, the environment-aware default
+    applies.  Its fields:
 
-    ``workers`` shards segment-parallel strategies across processes
-    (:mod:`repro.parallel`): an int, ``"auto"`` (CPU count), or
-    ``None``/``1`` for serial.  Output stays bit-identical; tiny
-    inputs, single-segment jobs, and unshardable strategies fall back
-    to serial execution automatically.
+    * ``engine`` — ``reference`` (instrumented), ``fast`` (packed-code
+      kernels, bit-identical output, no counters), or ``auto`` — fast
+      exactly when no ``stats`` collector was passed, ``use_ovc`` is
+      set, and no fan-in cap is configured.  A forced ``fast`` engine
+      leaves any passed ``stats`` untouched and executes a fan-in cap
+      as a single-wave merge.  With ``engine="auto"``, key columns the
+      packed codec cannot rank (mixed value types, ``None``) fall back
+      to the reference executors — reusing the already-computed segment
+      boundaries, so classification runs exactly once per call; a
+      forced ``fast`` engine propagates the ``TypeError``.
+    * ``workers`` — shards segment-parallel strategies across processes
+      (:mod:`repro.parallel`) with the config's retry/timeout policy;
+      output stays bit-identical, and tiny inputs, single-segment jobs,
+      and unshardable strategies fall back to serial automatically.
+    * ``max_fan_in`` — caps the runs merged per step (graceful
+      degradation to multi-step merges beyond it).
+    * ``memory_budget`` / ``spill_dir`` — buffered output runs spill to
+      disk whenever live charges exceed the budget; rows, codes, and
+      comparison counts are unaffected.
+
+    The standalone ``engine=`` / ``workers=`` / ``max_fan_in=`` kwargs
+    are deprecated spellings of the config fields (one release of
+    ``DeprecationWarning`` before removal).
     """
     if method not in _METHODS:
         raise ValueError(f"unknown method {method!r}; choose from {sorted(_METHODS)}")
-    if engine not in _ENGINES:
-        raise ValueError(f"unknown engine {engine!r}; choose from {sorted(_ENGINES)}")
-    if engine == "fast" and not use_ovc:
+    cfg = resolve_config(
+        config, engine=engine, workers=workers, max_fan_in=max_fan_in
+    )
+    if cfg.engine == "fast" and not use_ovc:
         raise ValueError("the fast engine requires offset-value codes (use_ovc=True)")
     if table.sort_spec is None:
         raise ValueError("input table must declare its sort order")
@@ -106,12 +129,16 @@ def modify_sort_order(
         "modify",
         rows=len(table.rows),
         method=method,
-        engine=engine,
+        engine=cfg.engine,
         use_ovc=use_ovc,
+        governed=cfg.governed,
     ):
-        return _modify(
-            table, new_spec, method, use_ovc, stats, max_fan_in, engine, workers
-        )
+        if not cfg.governed:
+            return _modify(table, new_spec, method, use_ovc, stats, cfg, None)
+        accountant = MemoryAccountant(cfg.memory_budget)
+        with SpillManager(cfg.spill_dir) as spill, activate(accountant):
+            sink = GovernedSink(accountant, spill)
+            return _modify(table, new_spec, method, use_ovc, stats, cfg, sink)
 
 
 def _modify(
@@ -120,13 +147,13 @@ def _modify(
     method: str,
     use_ovc: bool,
     stats: ComparisonStats | None,
-    max_fan_in: int | None,
-    engine: str,
-    workers: int | str | None,
+    cfg: ExecutionConfig,
+    sink: GovernedSink | None,
 ) -> Table:
     plan = analyze_order_modification(table.sort_spec, new_spec)
-    use_fast = engine == "fast" or (
-        engine == "auto" and use_ovc and stats is None and max_fan_in is None
+    max_fan_in = cfg.max_fan_in
+    use_fast = cfg.engine == "fast" or (
+        cfg.engine == "auto" and use_ovc and stats is None and max_fan_in is None
     )
     caller_stats = stats
     stats = stats if stats is not None else ComparisonStats()
@@ -155,12 +182,27 @@ def _modify(
     strategy = _resolve_strategy(plan, method, table, stats)
     TRACER.annotate(strategy=strategy.name.lower())
 
-    if workers not in (None, 0, 1) and use_ovc:
+    rows, ovcs = table.rows, table.ovcs
+    n = len(rows)
+    out_positions = new_spec.positions(table.schema)
+    out_project = _key_projector(out_positions, new_spec.directions)
+    in_positions = table.sort_spec.positions(table.schema)
+    in_project = _key_projector(in_positions, table.sort_spec.directions)
+
+    # Segment boundaries are computed exactly once per call and shared
+    # by every executor — the shard planner, the fast path, and the
+    # reference path (including the engine="auto" TypeError fallback,
+    # which must not re-classify the input it already classified).
+    boundaries: list[tuple[int, int]] | None = None
+    if strategy in (Strategy.SEGMENT_SORT, Strategy.COMBINED):
+        boundaries = _segments(table, plan, use_ovc, in_project, stats)
+
+    if cfg.workers not in (None, 0, 1) and use_ovc:
         from ..parallel.api import parallel_modify
 
         result = parallel_modify(
-            table, new_spec, plan, strategy, workers,
-            engine=engine, stats=caller_stats, max_fan_in=max_fan_in,
+            table, new_spec, plan, strategy, cfg.workers,
+            stats=caller_stats, config=cfg, segments=boundaries, sink=sink,
         )
         if result is not None:
             return result
@@ -169,26 +211,29 @@ def _modify(
         from ..fastpath.execute import fast_modify
 
         try:
-            return fast_modify(table, new_spec, plan, strategy)
+            return fast_modify(
+                table, new_spec, plan, strategy,
+                segments=boundaries, sink=sink,
+            )
         except TypeError:
-            if engine == "fast":
+            if cfg.engine == "fast":
                 raise
             # engine="auto" met key values the packed codec cannot rank
             # (mixed types in one column, None): the reference
             # executors below compare only values that actually meet in
-            # a tournament, so they can still succeed.
-
-    rows, ovcs = table.rows, table.ovcs
-    n = len(rows)
-    out_positions = new_spec.positions(table.schema)
-    out_project = _key_projector(out_positions, new_spec.directions)
-    in_positions = table.sort_spec.positions(table.schema)
-    in_project = _key_projector(in_positions, table.sort_spec.directions)
+            # a tournament, so they can still succeed — on the segment
+            # boundaries already computed above.
 
     out_rows: list[tuple] = []
     out_ovcs: list[tuple] | None = [] if use_ovc else None
 
     if strategy is Strategy.NOOP:
+        if sink is not None:
+            sink.absorb_iter(
+                list(rows), project_ovcs(ovcs, new_spec.arity) if use_ovc else None
+            )
+            out_rows, out_ovcs = _materialized(sink, use_ovc)
+            return Table(table.schema, out_rows, new_spec, out_ovcs)
         out_rows = list(rows)
         if use_ovc:
             out_ovcs = project_ovcs(ovcs, new_spec.arity)
@@ -201,16 +246,29 @@ def _modify(
                     rows, ovcs, lo, hi, 0, new_spec.arity, out_project,
                     stats, out_rows, out_ovcs, use_ovc,
                 )
+        if sink is not None:
+            sink.absorb_iter(out_rows, out_ovcs)
+            out_rows, out_ovcs = _materialized(sink, use_ovc)
         return Table(table.schema, out_rows, new_spec, out_ovcs)
 
     if strategy is Strategy.SEGMENT_SORT:
-        boundaries = _segments(table, plan, use_ovc, in_project, stats)
         with TRACER.span("modify.segment_sort", segments=len(boundaries)):
             for lo, hi in boundaries:
-                sort_segment(
-                    rows, ovcs, lo, hi, plan.prefix_len, new_spec.arity,
-                    out_project, stats, out_rows, out_ovcs, use_ovc,
-                )
+                if sink is not None:
+                    seg_rows: list[tuple] = []
+                    seg_ovcs: list[tuple] | None = [] if use_ovc else None
+                    sort_segment(
+                        rows, ovcs, lo, hi, plan.prefix_len, new_spec.arity,
+                        out_project, stats, seg_rows, seg_ovcs, use_ovc,
+                    )
+                    sink.absorb(seg_rows, seg_ovcs)
+                else:
+                    sort_segment(
+                        rows, ovcs, lo, hi, plan.prefix_len, new_spec.arity,
+                        out_project, stats, out_rows, out_ovcs, use_ovc,
+                    )
+        if sink is not None:
+            out_rows, out_ovcs = _materialized(sink, use_ovc)
         return Table(table.schema, out_rows, new_spec, out_ovcs)
 
     if strategy is Strategy.MERGE_RUNS:
@@ -223,18 +281,41 @@ def _modify(
                     stats, out_rows, out_ovcs, use_ovc, respect_prefix=False,
                     max_fan_in=max_fan_in,
                 )
+        if sink is not None:
+            sink.absorb_iter(out_rows, out_ovcs)
+            out_rows, out_ovcs = _materialized(sink, use_ovc)
         return Table(table.schema, out_rows, new_spec, out_ovcs)
 
     # COMBINED: segments from the prefix, merge runs within each.
-    boundaries = _segments(table, plan, use_ovc, in_project, stats)
     with TRACER.span("modify.combined", segments=len(boundaries)):
         for lo, hi in boundaries:
-            merge_preexisting_runs(
-                rows, ovcs, lo, hi, plan, out_project, in_project,
-                stats, out_rows, out_ovcs, use_ovc, respect_prefix=True,
-                max_fan_in=max_fan_in,
-            )
+            if sink is not None:
+                seg_rows = []
+                seg_ovcs = [] if use_ovc else None
+                merge_preexisting_runs(
+                    rows, ovcs, lo, hi, plan, out_project, in_project,
+                    stats, seg_rows, seg_ovcs, use_ovc, respect_prefix=True,
+                    max_fan_in=max_fan_in,
+                )
+                sink.absorb(seg_rows, seg_ovcs)
+            else:
+                merge_preexisting_runs(
+                    rows, ovcs, lo, hi, plan, out_project, in_project,
+                    stats, out_rows, out_ovcs, use_ovc, respect_prefix=True,
+                    max_fan_in=max_fan_in,
+                )
+    if sink is not None:
+        out_rows, out_ovcs = _materialized(sink, use_ovc)
     return Table(table.schema, out_rows, new_spec, out_ovcs)
+
+
+def _materialized(sink, use_ovc):
+    """Materialize the sink, preserving the ungoverned empty-input
+    contract: codes requested -> an empty list, never ``None``."""
+    out_rows, out_ovcs = sink.materialize()
+    if use_ovc and out_ovcs is None:
+        out_ovcs = []
+    return out_rows, out_ovcs
 
 
 def _resolve_strategy(

@@ -34,6 +34,9 @@ from typing import Iterator
 from ..core.analysis import ModificationPlan, Strategy, analyze_order_modification
 from ..core.merge_runs import merge_preexisting_runs
 from ..core.segmented import sort_segment
+from ..exec import faults as faults_mod
+from ..exec.compat import resolve_config
+from ..exec.config import ExecutionConfig
 from ..model import SortSpec
 from ..obs import METRICS, TRACER
 from ..ovc.derive import project_ovcs
@@ -52,22 +55,19 @@ class StreamingModify(Operator):
         self,
         child: Operator,
         spec: SortSpec,
-        engine: str = "auto",
+        engine: str | None = None,
         workers: int | str | None = None,
         shard_rows: int = 4096,
+        config: "ExecutionConfig | None" = None,
     ) -> None:
         if child.ordering is None:
             raise ValueError("streaming modification needs an ordered input")
-        if engine not in ("auto", "reference", "fast"):
-            raise ValueError(
-                f"unknown engine {engine!r}; choose from"
-                " ['auto', 'fast', 'reference']"
-            )
         super().__init__(child.schema, spec, child.stats)
+        self._config = resolve_config(config, engine=engine, workers=workers)
         self._child = child
         self._spec = spec
-        self._engine = engine
-        self._workers = workers
+        self._engine = self._config.engine
+        self._workers = self._config.workers
         self._shard_rows = shard_rows
         self.plan: ModificationPlan = analyze_order_modification(
             child.ordering, spec
@@ -186,6 +186,7 @@ class StreamingModify(Operator):
             collect_stats=self._engine != "fast",
             trace=TRACER.enabled,
             collect_metrics=METRICS.enabled,
+            faults=faults_mod.from_env(),
         )
         shard_rows = max(1, self._shard_rows)
 
@@ -214,7 +215,9 @@ class StreamingModify(Operator):
                 )
                 yield buf_rows, buf_ovcs
 
-        executor = ShardExecutor(ctx, n_workers)
+        executor = ShardExecutor(
+            ctx, n_workers, retry_policy=self._config.retry_policy
+        )
         with TRACER.span(
             "streaming.parallel", workers=n_workers, engine=self._engine
         ):

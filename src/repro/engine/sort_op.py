@@ -11,25 +11,31 @@ paper's machinery:
 * unordered child -> internal tournament sort, or external merge sort
   when a memory budget is configured and exceeded.
 
-``engine`` selects the executor for the in-memory paths: ``auto``
-keeps the instrumented reference executors (an operator's comparison
-counters are part of its contract, so ``auto`` here means
-"reference"); ``fast`` routes order modification and the internal sort
-through the packed-code kernels of :mod:`repro.fastpath` —
-bit-identical rows and codes, counters left untouched.  The external
-merge sort has no fast twin (spill accounting is its point) and always
-runs the reference path.
+An :class:`~repro.exec.ExecutionConfig` selects how the in-memory
+paths execute.  ``config.engine``: ``auto`` keeps the instrumented
+reference executors (an operator's comparison counters are part of its
+contract, so ``auto`` here means "reference"); ``fast`` routes order
+modification and the internal sort through the packed-code kernels of
+:mod:`repro.fastpath` — bit-identical rows and codes, counters left
+untouched.  The external merge sort has no fast twin (spill accounting
+is its point) and always runs the reference path.
 
-``workers`` forwards to the order-modification path's parallel
+``config.workers`` forwards to the order-modification path's parallel
 subsystem (:mod:`repro.parallel`): segment-parallel strategies shard
-across processes, with worker counters merged back into the operator's
-stats; everything else stays serial automatically.
+across processes (with the config's retry/timeout policy), with worker
+counters merged back into the operator's stats; everything else stays
+serial automatically.  ``config.memory_budget`` governs the order
+modification's buffered output (spill-to-disk under pressure).  The
+standalone ``engine=``/``workers=`` kwargs are the config fields'
+deprecated spellings.
 """
 
 from __future__ import annotations
 
 from typing import Iterator
 
+from ..exec.compat import resolve_config
+from ..exec.config import ExecutionConfig
 from ..model import SortSpec, Table
 from ..core.modify import modify_sort_order
 from ..sorting.external import ExternalMergeSort
@@ -48,16 +54,13 @@ class Sort(Operator):
         use_ovc: bool = True,
         memory_capacity: int | None = None,
         fan_in: int = 16,
-        engine: str = "auto",
+        engine: str | None = None,
         workers: int | str | None = None,
+        config: ExecutionConfig | None = None,
     ) -> None:
         super().__init__(child.schema, spec, child.stats)
-        if engine not in ("auto", "reference", "fast"):
-            raise ValueError(
-                f"unknown engine {engine!r}; choose from"
-                " ['auto', 'fast', 'reference']"
-            )
-        if engine == "fast" and not use_ovc:
+        self._config = resolve_config(config, engine=engine, workers=workers)
+        if self._config.engine == "fast" and not use_ovc:
             raise ValueError(
                 "the fast engine requires offset-value codes (use_ovc=True)"
             )
@@ -67,8 +70,7 @@ class Sort(Operator):
         self._use_ovc = use_ovc
         self._memory_capacity = memory_capacity
         self._fan_in = fan_in
-        self._engine = engine
-        self._workers = workers
+        self._engine = self._config.engine
         #: Strategy actually executed, for tests and EXPLAIN output.
         self.executed: str | None = None
 
@@ -94,8 +96,9 @@ class Sort(Operator):
                 method=self._method,
                 use_ovc=self._use_ovc and table.ovcs is not None,
                 stats=self.stats,
-                engine="fast" if self._engine == "fast" else "reference",
-                workers=self._workers,
+                config=self._config.with_(
+                    engine="fast" if self._engine == "fast" else "reference"
+                ),
             )
             self.executed = "modify_sort_order"
             yield from _emit(result)

@@ -1,0 +1,142 @@
+"""Budget-governed output buffering: absorb, spill, restore.
+
+The order-modification executors produce their output segment by
+segment, in final order — there is never a merge *across* segment
+outputs.  That makes governed buffering trivial to keep bit-identical:
+:class:`GovernedSink` absorbs each completed batch, charges it to the
+memory accountant, and when the budget is exceeded spills everything
+it holds to disk as one run; at the end, :meth:`GovernedSink.
+materialize` concatenates the spilled runs (in spill order) with the
+in-memory tail.  No row is ever reordered, dropped, or compared — a
+governed run returns exactly the rows, codes, and comparison counts of
+an ungoverned one, only its intermediate footprint differs.
+"""
+
+from __future__ import annotations
+
+from ..obs import TRACER
+from .memory import MemoryAccountant, rows_nbytes
+from .spill import SpillHandle, SpillManager
+
+
+class GovernedSink:
+    """An append-only output buffer that spills when over budget.
+
+    ``category`` labels the accountant charges (e.g.
+    ``"modify.output"``); ``chunk_rows`` bounds how many rows a single
+    :meth:`absorb_iter` charge covers, so even one huge batch triggers
+    spills *during* absorption rather than after it.
+    """
+
+    def __init__(
+        self,
+        accountant: MemoryAccountant,
+        spill: SpillManager,
+        category: str = "modify.output",
+        chunk_rows: int = 4096,
+    ) -> None:
+        self._accountant = accountant
+        self._spill = spill
+        self._category = category
+        self._chunk_rows = max(1, chunk_rows)
+        self._rows: list[tuple] = []
+        self._ovcs: list[tuple] | None = None
+        self._held_bytes = 0
+        self._handles: list[SpillHandle] = []
+        self._spilled_rows = 0
+
+    # ---------------------------------------------------------- absorb
+
+    def absorb(self, rows: list[tuple], ovcs: list[tuple] | None) -> None:
+        """Take ownership of one completed output batch."""
+        if ovcs is not None and self._ovcs is None:
+            # Remember that codes were requested even for an empty
+            # batch, so an empty input materializes [] rather than None
+            # — exactly what the ungoverned paths return.
+            self._ovcs = []
+        if not rows and not self._rows:
+            return
+        if ovcs is not None:
+            self._ovcs.extend(ovcs)
+        self._rows.extend(rows)
+        n = rows_nbytes(rows, ovcs)
+        self._held_bytes += n
+        self._accountant.charge(self._category, n)
+        if self._accountant.over_budget():
+            self._spill_held()
+
+    def absorb_iter(self, rows: list[tuple], ovcs: list[tuple] | None) -> None:
+        """Absorb a large batch in ``chunk_rows`` slices.
+
+        Whole-input strategies (full sort, single-segment merges)
+        produce their output as one list; slicing it through the sink
+        lets the budget interrupt mid-batch exactly as it would have
+        interrupted between segments.
+        """
+        if ovcs is not None and self._ovcs is None:
+            self._ovcs = []
+        step = self._chunk_rows
+        for lo in range(0, len(rows), step):
+            self.absorb(
+                rows[lo : lo + step],
+                ovcs[lo : lo + step] if ovcs is not None else None,
+            )
+
+    def _spill_held(self) -> None:
+        if not self._rows:
+            return
+        self._accountant.note_spill()
+        handle = self._spill.spill(self._rows, self._ovcs, self._category)
+        self._handles.append(handle)
+        self._spilled_rows += len(self._rows)
+        self._rows = []
+        self._ovcs = [] if self._ovcs is not None else None
+        self._accountant.release(self._category, self._held_bytes)
+        self._held_bytes = 0
+
+    # ----------------------------------------------------- materialize
+
+    @property
+    def spill_count(self) -> int:
+        """Spill operations this sink performed."""
+        return len(self._handles)
+
+    def materialize(self) -> tuple[list[tuple], list[tuple] | None]:
+        """All absorbed output, in absorption order.
+
+        Reads spilled runs back in spill order and appends the
+        in-memory tail; releases every spill file.  The result is the
+        caller's to keep — charges for the tail are released here, so
+        the accountant ends the query back at its pre-sink level.
+        """
+        if not self._handles:
+            rows, ovcs = self._rows, self._ovcs
+            self._accountant.release(self._category, self._held_bytes)
+            self._held_bytes = 0
+            self._rows, self._ovcs = [], None
+            return rows, ovcs
+        with TRACER.span(
+            "exec.sink.materialize",
+            spilled_runs=len(self._handles),
+            spilled_rows=self._spilled_rows,
+        ):
+            out_rows: list[tuple] = []
+            out_ovcs: list[tuple] | None = None
+            for handle in self._handles:
+                rows, ovcs = handle.read()
+                out_rows.extend(rows)
+                if ovcs is not None:
+                    if out_ovcs is None:
+                        out_ovcs = []
+                    out_ovcs.extend(ovcs)
+                handle.release()
+            out_rows.extend(self._rows)
+            if self._ovcs is not None:
+                if out_ovcs is None:
+                    out_ovcs = []
+                out_ovcs.extend(self._ovcs)
+        self._accountant.release(self._category, self._held_bytes)
+        self._held_bytes = 0
+        self._handles = []
+        self._rows, self._ovcs = [], None
+        return out_rows, out_ovcs

@@ -1,0 +1,230 @@
+"""Unified execution configuration: one object instead of kwarg sprawl.
+
+PRs 1-3 each added their own knob to every entry point — ``engine=``
+(fast path), ``workers=`` (parallel pool), ``max_fan_in=`` (graceful
+merge degradation) — and PR 4 adds a memory budget, a spill directory,
+and a retry/timeout policy.  Threading six loose kwargs through
+``modify_sort_order``, ``modify_sort_order_external``, ``Sort``,
+``StreamingModify``, ``Query.order_by``, and the CLI does not scale;
+:class:`ExecutionConfig` carries all of them as one frozen value.
+
+Construction patterns::
+
+    cfg = ExecutionConfig.default()                  # env-aware defaults
+    cfg = ExecutionConfig(workers=4, engine="fast")
+    cfg = ExecutionConfig.from_env()                 # REPRO_* variables
+    low = cfg.with_(memory_budget="1MiB")            # derived variant
+
+The legacy kwargs still work for one release; they are folded into a
+config (with a ``DeprecationWarning``) in exactly one place,
+:func:`repro.exec.compat.resolve_config`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from dataclasses import dataclass
+
+_ENGINES = ("auto", "fast", "reference")
+
+#: Multipliers for the memory-size suffixes :func:`parse_memory` accepts.
+_UNITS = {
+    "b": 1,
+    "k": 1024, "kb": 1000, "kib": 1024,
+    "m": 1024 ** 2, "mb": 1000 ** 2, "mib": 1024 ** 2,
+    "g": 1024 ** 3, "gb": 1000 ** 3, "gib": 1024 ** 3,
+}
+
+
+def parse_memory(value: int | str | None) -> int | None:
+    """Parse a memory size: an int (bytes) or a string like ``"1MiB"``.
+
+    Accepted suffixes: ``B``, ``K``/``KB``/``KiB``, ``M``/``MB``/``MiB``,
+    ``G``/``GB``/``GiB`` (case-insensitive; the binary forms and the
+    bare letters are powers of 1024, the decimal ``*B`` forms powers of
+    1000).  ``None`` and ``""`` mean "no budget".
+    """
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        raise ValueError(f"memory size must be an int or string, got {value!r}")
+    if isinstance(value, int):
+        if value <= 0:
+            raise ValueError(f"memory size must be positive, got {value}")
+        return value
+    text = value.strip().lower().replace("_", "").replace(",", "")
+    if not text:
+        return None
+    digits = text
+    unit = "b"
+    for i, ch in enumerate(text):
+        if not (ch.isdigit() or ch == "."):
+            digits, unit = text[:i], text[i:].strip()
+            break
+    if unit not in _UNITS:
+        raise ValueError(
+            f"unknown memory unit {unit!r} in {value!r}; "
+            f"use one of {sorted(set(_UNITS))}"
+        )
+    try:
+        number = float(digits)
+    except ValueError:
+        raise ValueError(f"cannot parse memory size {value!r}") from None
+    n = int(number * _UNITS[unit])
+    if n <= 0:
+        raise ValueError(f"memory size must be positive, got {value!r}")
+    return n
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Fault-tolerance policy for the parallel worker pool.
+
+    ``timeout_s`` is the per-shard wall-clock deadline (``None`` means
+    no deadline: only worker death triggers recovery).  ``retries`` is
+    how many times a failed shard is re-dispatched to the pool before it
+    is quarantined and executed serially in the driver process.
+    """
+
+    timeout_s: float | None = None
+    retries: int = 1
+
+    def __post_init__(self) -> None:
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {self.timeout_s}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be non-negative, got {self.retries}")
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """Every execution knob of the engine, as one frozen value.
+
+    Fields
+    ------
+    engine:
+        ``"auto"`` | ``"reference"`` | ``"fast"`` — executor selection,
+        exactly as the old ``engine=`` kwarg.
+    workers:
+        ``None``/``0``/``1`` serial, ``"auto"`` for the core count, or
+        an explicit worker-process count.
+    max_fan_in:
+        Cap on runs merged per step in the reference merge executors
+        (graceful degradation to multi-step merges beyond it).
+    memory_budget:
+        Per-query budget in bytes (or a string like ``"1MiB"``) charged
+        through :class:`repro.exec.memory.MemoryAccountant`; exceeding
+        it spills buffered output runs to disk and reduces merge fan-in
+        under pressure.  ``None`` disables governance entirely.
+    spill_dir:
+        Directory for spill files; ``None`` uses the system temp dir.
+    shard_timeout_s / shard_retries:
+        The pool's :class:`RetryPolicy` (see there).
+    trace / metrics:
+        Tri-state observability requests: ``True`` force-enables the
+        span tracer / metrics registry for governed runs, ``False``
+        keeps them off, ``None`` (default) follows whatever the process
+        singletons are set to.
+    """
+
+    engine: str = "auto"
+    workers: int | str | None = None
+    max_fan_in: int | None = None
+    memory_budget: int | None = None
+    spill_dir: str | None = None
+    shard_timeout_s: float | None = None
+    shard_retries: int = 1
+    trace: bool | None = None
+    metrics: bool | None = None
+
+    def __post_init__(self) -> None:
+        if self.engine not in _ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; choose from {sorted(_ENGINES)}"
+            )
+        if self.workers is not None and self.workers != "auto":
+            if isinstance(self.workers, bool) or not isinstance(self.workers, int):
+                raise ValueError(
+                    "workers must be an int, 'auto', or None; "
+                    f"got {self.workers!r}"
+                )
+            if self.workers < 0:
+                raise ValueError(
+                    f"workers must be non-negative, got {self.workers}"
+                )
+        if self.max_fan_in is not None and self.max_fan_in < 2:
+            raise ValueError(
+                f"max_fan_in must be at least 2, got {self.max_fan_in}"
+            )
+        object.__setattr__(
+            self, "memory_budget", parse_memory(self.memory_budget)
+        )
+        if self.shard_timeout_s is not None and self.shard_timeout_s <= 0:
+            raise ValueError(
+                f"shard_timeout_s must be positive, got {self.shard_timeout_s}"
+            )
+        if self.shard_retries < 0:
+            raise ValueError(
+                f"shard_retries must be non-negative, got {self.shard_retries}"
+            )
+
+    # ------------------------------------------------------ constructors
+
+    @classmethod
+    def default(cls) -> "ExecutionConfig":
+        """The environment-aware default used when no config is passed.
+
+        Equivalent to :meth:`from_env`: a plain ``ExecutionConfig()``
+        unless ``REPRO_*`` variables override fields, so a test matrix
+        (e.g. ``REPRO_MEMORY_BUDGET=1MiB pytest``) governs every entry
+        point without touching call sites.
+        """
+        return cls.from_env()
+
+    @classmethod
+    def from_env(cls, env: dict | None = None) -> "ExecutionConfig":
+        """Build a config from ``REPRO_*`` environment variables.
+
+        Recognized: ``REPRO_ENGINE``, ``REPRO_WORKERS`` (int or
+        ``auto``), ``REPRO_MAX_FAN_IN``, ``REPRO_MEMORY_BUDGET``
+        (``parse_memory`` syntax), ``REPRO_SPILL_DIR``,
+        ``REPRO_SHARD_TIMEOUT`` (seconds), ``REPRO_SHARD_RETRIES``.
+        Unset variables keep the field defaults.
+        """
+        e = os.environ if env is None else env
+        kwargs: dict = {}
+        if e.get("REPRO_ENGINE"):
+            kwargs["engine"] = e["REPRO_ENGINE"]
+        if e.get("REPRO_WORKERS"):
+            raw = e["REPRO_WORKERS"]
+            kwargs["workers"] = raw if raw == "auto" else int(raw)
+        if e.get("REPRO_MAX_FAN_IN"):
+            kwargs["max_fan_in"] = int(e["REPRO_MAX_FAN_IN"])
+        if e.get("REPRO_MEMORY_BUDGET"):
+            kwargs["memory_budget"] = e["REPRO_MEMORY_BUDGET"]
+        if e.get("REPRO_SPILL_DIR"):
+            kwargs["spill_dir"] = e["REPRO_SPILL_DIR"]
+        if e.get("REPRO_SHARD_TIMEOUT"):
+            kwargs["shard_timeout_s"] = float(e["REPRO_SHARD_TIMEOUT"])
+        if e.get("REPRO_SHARD_RETRIES"):
+            kwargs["shard_retries"] = int(e["REPRO_SHARD_RETRIES"])
+        return cls(**kwargs)
+
+    def with_(self, **overrides) -> "ExecutionConfig":
+        """A copy with the given fields replaced (validated anew)."""
+        return dataclasses.replace(self, **overrides)
+
+    # --------------------------------------------------------- accessors
+
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        """The pool fault-tolerance policy implied by this config."""
+        return RetryPolicy(
+            timeout_s=self.shard_timeout_s, retries=self.shard_retries
+        )
+
+    @property
+    def governed(self) -> bool:
+        """True when a memory budget is set (accountant + spill active)."""
+        return self.memory_budget is not None

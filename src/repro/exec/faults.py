@@ -1,0 +1,148 @@
+"""Deterministic fault injection for the parallel worker pool.
+
+Fault-tolerance code that can only be exercised by real crashes is
+untestable; this module lets tests (and the CI fault matrix) kill,
+hang, or corrupt a worker *on demand, deterministically*.  A
+:class:`Fault` names a kind, the shard it fires on, and how many
+attempts it fires for; the active plan ships to workers inside the
+picklable :class:`~repro.parallel.worker.ShardContext`, and the worker
+consults :func:`fire` right around shard execution.  Because the
+attempt number comes from the driver (it counts retries), "fail the
+first attempt, succeed on retry" is expressible and exactly
+reproducible under both ``fork`` and ``spawn``.
+
+Kinds
+-----
+* ``"kill"`` — the worker process exits immediately (``os._exit``), as
+  an OOM-killed or segfaulted worker would.
+* ``"hang"`` — the worker sleeps for ``hang_s`` seconds, as a
+  deadlocked or livelocked worker would; only a pool timeout recovers.
+* ``"corrupt"`` — the worker completes but ships a truncated result
+  (its last row dropped), modeling silent data corruption; the pool's
+  row-count validation must catch it.
+* ``"error"`` — the worker raises, exercising the ordinary remote
+  traceback path.
+
+Plans can also come from the environment (``REPRO_FAULTS``), so CLI
+runs are injectable without code: a comma-separated list of
+``kind@shard[xtimes]`` items, e.g. ``kill@0x1,hang@2``.  ``shard``
+``*`` means every shard; omitted ``times`` means every attempt.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+_KINDS = ("kill", "hang", "corrupt", "error")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected fault: fire ``kind`` on ``shard`` for ``times`` attempts.
+
+    ``shard=None`` matches every shard; ``times=None`` fires on every
+    attempt (so even retries fail, forcing quarantine).  ``hang_s`` is
+    how long a ``"hang"`` sleeps — far longer than any sane shard
+    timeout by default.
+    """
+
+    kind: str
+    shard: int | None = None
+    times: int | None = 1
+    hang_s: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; choose from {sorted(_KINDS)}"
+            )
+        if self.times is not None and self.times < 1:
+            raise ValueError(f"times must be >= 1 or None, got {self.times}")
+
+    def matches(self, shard: int, attempt: int) -> bool:
+        """Does this fault fire for ``shard`` on 0-based ``attempt``?"""
+        if self.shard is not None and self.shard != shard:
+            return False
+        return self.times is None or attempt < self.times
+
+
+class WorkerCorrupted(RuntimeError):
+    """Raised by an ``"error"`` fault inside the worker."""
+
+
+def parse_faults(spec: str) -> tuple[Fault, ...]:
+    """Parse a ``REPRO_FAULTS`` spec: ``kind@shard[xtimes],...``.
+
+    Examples: ``kill@0x1`` (kill shard 0's first attempt only — the
+    retry succeeds), ``hang@2`` (hang shard 2 on every attempt —
+    forces quarantine), ``corrupt@*x1`` (corrupt every shard's first
+    attempt).  ``shard`` is an index or ``*``; omitted ``times`` means
+    every attempt.
+    """
+    faults = []
+    for item in spec.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        kind, _, rest = item.partition("@")
+        if not rest:
+            raise ValueError(
+                f"fault {item!r} needs a shard: kind@shard[xtimes]"
+            )
+        shard_text, _, times_text = rest.partition("x")
+        shard = None if shard_text == "*" else int(shard_text)
+        times = int(times_text) if times_text else None
+        faults.append(Fault(kind, shard=shard, times=times))
+    return tuple(faults)
+
+
+def from_env(env: dict | None = None) -> tuple[Fault, ...]:
+    """The fault plan in ``REPRO_FAULTS``, or an empty plan."""
+    e = os.environ if env is None else env
+    spec = e.get("REPRO_FAULTS", "")
+    return parse_faults(spec) if spec else ()
+
+
+def fire(
+    faults: tuple[Fault, ...], shard: int, attempt: int
+) -> Fault | None:
+    """Trigger the first matching *pre-execution* fault, if any.
+
+    ``kill`` and ``hang`` and ``error`` take effect here (never
+    returning normally, sleeping, or raising); a matching ``corrupt``
+    is returned to the caller, which must apply it to its finished
+    output.
+    """
+    for fault in faults:
+        if not fault.matches(shard, attempt):
+            continue
+        if fault.kind == "kill":
+            # Let the queue feeder thread flush the worker's pending
+            # "start" announcement first, so the driver can attribute
+            # the death to the right shard instead of reconciling a
+            # silent disappearance.
+            time.sleep(0.05)
+            os._exit(17)
+        if fault.kind == "hang":
+            time.sleep(fault.hang_s)
+            return None
+        if fault.kind == "error":
+            raise WorkerCorrupted(
+                f"injected error on shard {shard} attempt {attempt}"
+            )
+        if fault.kind == "corrupt":
+            return fault
+    return None
+
+
+def corrupt_output(
+    rows: list[tuple], ovcs: list[tuple]
+) -> tuple[list[tuple], list[tuple]]:
+    """Apply a ``corrupt`` fault: drop the final row of the output.
+
+    Deterministic and silent — the shard looks successful until the
+    pool validates its row count against the dispatched payload.
+    """
+    return rows[:-1], ovcs[:-1] if ovcs else ovcs

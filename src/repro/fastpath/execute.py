@@ -20,6 +20,7 @@ from typing import Sequence
 
 from ..core.analysis import ModificationPlan, Strategy
 from ..core.classify import split_segments
+from ..exec import memory
 from ..model import SortSpec, Table
 from ..obs import TRACER
 from ..ovc.derive import project_ovcs
@@ -74,11 +75,19 @@ def fast_modify(
     new_spec: SortSpec,
     plan: ModificationPlan,
     strategy: Strategy,
+    segments: list[tuple[int, int]] | None = None,
+    sink=None,
 ) -> Table:
     """Execute ``strategy`` on ``table`` without instrumentation.
 
     The table must carry offset-value codes (the caller guarantees it;
     classification, segmenting, and code reconstruction all read them).
+    ``segments`` supplies pre-computed segment boundaries (the
+    dispatcher classifies once and shares them); when omitted they are
+    derived here.  ``sink`` is an optional
+    :class:`~repro.exec.buffers.GovernedSink` — completed per-segment
+    outputs are absorbed (and spilled under budget pressure) instead of
+    accumulating in one list.
     """
     rows = table.rows
     ovcs = table.ovcs
@@ -86,6 +95,10 @@ def fast_modify(
     k_out = new_spec.arity
 
     if strategy is Strategy.NOOP:
+        if sink is not None:
+            sink.absorb_iter(list(rows), project_ovcs(ovcs, k_out))
+            out_rows, out_ovcs = sink.materialize()
+            return Table(table.schema, out_rows, new_spec, out_ovcs)
         return Table(table.schema, list(rows), new_spec, project_ovcs(ovcs, k_out))
 
     out_rows: list[tuple] = []
@@ -99,29 +112,49 @@ def fast_modify(
         )
     pos0 = colpos[0]
     p = plan.prefix_len
+    accountant = memory.current()
+
+    def emit(run_segment, lo, hi, *extra):
+        """Run one segment executor, routing output through the sink."""
+        if sink is None:
+            run_segment(lo, hi, out_rows, out_ovcs, *extra)
+            return
+        seg_rows: list[tuple] = []
+        seg_ovcs: list[tuple] = []
+        run_segment(lo, hi, seg_rows, seg_ovcs, *extra)
+        sink.absorb(seg_rows, seg_ovcs)
 
     if strategy is Strategy.FULL_SORT:
         with TRACER.span("fastpath.pack", rows=n):
             packed = codec.pack_range(0, k_out)
+        packed_bytes = _charge_packed(accountant, packed)
         varying = [(d, colpos[d]) for d in codec.varying_columns(0, k_out)]
         with TRACER.span("fastpath.sort", rows=n, segments=1):
-            fast_sort_segment(
-                rows, ovcs, keysrc, packed, varying, pos0, 0, n, 0, k_out,
-                out_rows, out_ovcs,
+            emit(
+                lambda lo, hi, o_rows, o_ovcs: fast_sort_segment(
+                    rows, ovcs, keysrc, packed, varying, pos0, lo, hi, 0,
+                    k_out, o_rows, o_ovcs,
+                ),
+                0, n,
             )
     elif strategy is Strategy.SEGMENT_SORT:
         start = min(p, k_out)
         with TRACER.span("fastpath.pack", rows=n):
             packed = codec.pack_range(start, k_out)
+        packed_bytes = _charge_packed(accountant, packed)
         varying = [(d, colpos[d]) for d in codec.varying_columns(start, k_out)]
-        segments = split_segments(ovcs, p, n)
+        if segments is None:
+            segments = split_segments(ovcs, p, n)
         with TRACER.span("fastpath.sort", rows=n) as sp:
             count = 0
             for lo, hi in segments:
                 count += 1
-                fast_sort_segment(
-                    rows, ovcs, keysrc, packed, varying, pos0, lo, hi, p,
-                    k_out, out_rows, out_ovcs,
+                emit(
+                    lambda lo, hi, o_rows, o_ovcs: fast_sort_segment(
+                        rows, ovcs, keysrc, packed, varying, pos0, lo, hi,
+                        p, k_out, o_rows, o_ovcs,
+                    ),
+                    lo, hi,
                 )
             sp.set(segments=count)
     elif strategy is Strategy.MERGE_RUNS:
@@ -129,28 +162,50 @@ def fast_modify(
         # combinations, so the restricted key starts at column 0.
         with TRACER.span("fastpath.pack", rows=n):
             packed = codec.pack_range(0, p + plan.merge_len)
+        packed_bytes = _charge_packed(accountant, packed)
         varying = [(d, colpos[d]) for d in codec.varying_columns(0, k_out)]
         with TRACER.span("fastpath.merge", rows=n, segments=1):
-            fast_merge_runs(
-                rows, ovcs, keysrc, packed, varying, pos0, 0, n, plan,
-                out_rows, out_ovcs, respect_prefix=False,
+            emit(
+                lambda lo, hi, o_rows, o_ovcs: fast_merge_runs(
+                    rows, ovcs, keysrc, packed, varying, pos0, lo, hi, plan,
+                    o_rows, o_ovcs, respect_prefix=False,
+                ),
+                0, n,
             )
     else:  # COMBINED
         with TRACER.span("fastpath.pack", rows=n):
             packed = codec.pack_range(p, p + plan.merge_len)
+        packed_bytes = _charge_packed(accountant, packed)
         varying = [(d, colpos[d]) for d in codec.varying_columns(p, k_out)]
-        segments = split_segments(ovcs, p, n)
+        if segments is None:
+            segments = split_segments(ovcs, p, n)
         with TRACER.span("fastpath.merge", rows=n) as sp:
             count = 0
             for lo, hi in segments:
                 count += 1
-                fast_merge_runs(
-                    rows, ovcs, keysrc, packed, varying, pos0, lo, hi, plan,
-                    out_rows, out_ovcs, respect_prefix=True,
+                emit(
+                    lambda lo, hi, o_rows, o_ovcs: fast_merge_runs(
+                        rows, ovcs, keysrc, packed, varying, pos0, lo, hi,
+                        plan, o_rows, o_ovcs, respect_prefix=True,
+                    ),
+                    lo, hi,
                 )
             sp.set(segments=count)
 
+    if accountant is not None:
+        accountant.release("fastpath.packed", packed_bytes)
+    if sink is not None:
+        out_rows, out_ovcs = sink.materialize()
     return Table(table.schema, out_rows, new_spec, out_ovcs)
+
+
+def _charge_packed(accountant, packed) -> int:
+    """Charge a packed-code array to the active accountant (8B/code)."""
+    if accountant is None:
+        return 0
+    n_bytes = 8 * len(packed)
+    accountant.charge("fastpath.packed", n_bytes)
+    return n_bytes
 
 
 def fast_segment(

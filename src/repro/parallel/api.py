@@ -26,6 +26,8 @@ from __future__ import annotations
 import os
 
 from ..core.analysis import ModificationPlan, Strategy
+from ..exec import faults as faults_mod
+from ..exec.config import ExecutionConfig
 from ..model import SortSpec, Table
 from ..obs import METRICS, TRACER
 from ..ovc.stats import ComparisonStats
@@ -73,6 +75,10 @@ def parallel_modify(
     min_rows: int | None = None,
     chunk_rows: int = DEFAULT_CHUNK_ROWS,
     start_method: str | None = None,
+    config: ExecutionConfig | None = None,
+    segments: list[tuple[int, int]] | None = None,
+    sink=None,
+    faults=None,
 ) -> Table | None:
     """Execute ``strategy`` across worker processes; ``None`` if serial.
 
@@ -80,11 +86,25 @@ def parallel_modify(
     executors read them).  When a result is returned it is bit-identical
     to the serial engines' output, and ``stats`` (if given) has absorbed
     the workers' reference-path counters.
+
+    ``config`` supplies engine, fan-in cap, and the pool's
+    retry/timeout policy in one object (overriding the loose
+    ``engine``/``max_fan_in`` parameters); ``segments`` are
+    pre-computed segment boundaries (classification runs once, in the
+    dispatcher); ``sink`` is an optional governed output buffer that
+    absorbs ordered chunks as they stream (spilling under budget
+    pressure); ``faults`` overrides the injected-fault plan (defaults
+    to ``REPRO_FAULTS``).
     """
+    retry_policy = None
+    if config is not None:
+        engine = config.engine
+        max_fan_in = config.max_fan_in
+        retry_policy = config.retry_policy
     n_workers = resolve_workers(workers)
     shard_plan = plan_shards(
         table.ovcs, len(table.rows), plan, strategy, n_workers,
-        min_rows=min_rows,
+        min_rows=min_rows, segments=segments,
     )
     if not shard_plan.parallel:
         return None
@@ -100,9 +120,11 @@ def parallel_modify(
         max_fan_in=max_fan_in,
         trace=TRACER.enabled,
         collect_metrics=METRICS.enabled,
+        faults=faults_mod.from_env() if faults is None else tuple(faults),
     )
     executor = ShardExecutor(
-        ctx, n_workers, chunk_rows=chunk_rows, start_method=start_method
+        ctx, n_workers, chunk_rows=chunk_rows, start_method=start_method,
+        retry_policy=retry_policy,
     )
     rows, ovcs = table.rows, table.ovcs
     payloads = (
@@ -117,11 +139,16 @@ def parallel_modify(
         strategy=strategy.name.lower(),
     ):
         for chunk_rows_batch, chunk_ovcs in executor.run(payloads):
-            out_rows.extend(chunk_rows_batch)
-            out_ovcs.extend(chunk_ovcs)
+            if sink is not None:
+                sink.absorb(chunk_rows_batch, chunk_ovcs)
+            else:
+                out_rows.extend(chunk_rows_batch)
+                out_ovcs.extend(chunk_ovcs)
     if stats is not None and executor.stats is not None:
         stats.merge(executor.stats)
     stitch_telemetry(executor.telemetry)
+    if sink is not None:
+        out_rows, out_ovcs = sink.materialize()
     return Table(table.schema, out_rows, new_spec, out_ovcs)
 
 

@@ -25,6 +25,7 @@ order shards finished in.
 
 from __future__ import annotations
 
+from ..exec import memory
 from ..ovc.stats import ComparisonStats
 
 Chunk = tuple[list[tuple], list[tuple]]
@@ -79,6 +80,11 @@ class OrderedCollector:
             self.peak_buffered_rows = max(
                 self.peak_buffered_rows, self.buffered_rows
             )
+            accountant = memory.current()
+            if accountant is not None:
+                accountant.charge(
+                    "pool.reorder", memory.rows_nbytes(rows, ovcs)
+                )
             return []
 
         ready: list[Chunk] = [(rows, ovcs)]
@@ -104,6 +110,11 @@ class OrderedCollector:
             if not chunks:
                 del self._buffered[self._next_shard]
             self.buffered_rows -= len(rows)
+            accountant = memory.current()
+            if accountant is not None:
+                accountant.release(
+                    "pool.reorder", memory.rows_nbytes(rows, ovcs)
+                )
             ready.append((rows, ovcs))
             last = self._last_seq.get(self._next_shard) == self._next_seq
             self._advance(self._next_seq, last)

@@ -108,11 +108,15 @@ def plan_shards(
     n_workers: int,
     min_rows: int | None = None,
     shards_per_worker: int = SHARDS_PER_WORKER,
+    segments: Sequence[tuple[int, int]] | None = None,
 ) -> ShardPlan:
     """Bin-pack the input's segments into roughly equal-cost shards.
 
     Returns a serial plan (``parallel=False``) whenever sharding cannot
     pay off; callers fall back to the in-process executors.
+    ``segments`` supplies already-computed segment boundaries (the
+    dispatcher classifies the input exactly once); when omitted they
+    are derived from the codes here.
     """
     if min_rows is None:
         min_rows = MIN_PARALLEL_ROWS
@@ -130,7 +134,8 @@ def plan_shards(
     if p == 0:
         return ShardPlan.serial("no shared prefix: single segment", 1)
 
-    segments = list(split_segments(ovcs, p, n_rows))
+    if segments is None:
+        segments = list(split_segments(ovcs, p, n_rows))
     if len(segments) < 2:
         return ShardPlan.serial("single segment", len(segments))
 

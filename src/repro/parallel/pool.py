@@ -11,9 +11,29 @@ with two backpressure controls:
   pickle size of any single IPC message.
 
 The loop never deadlocks: the task queue is unbounded (feeding never
-blocks), and the driver only blocks on the result queue while at least
-one shard is in flight — some worker then holds a task and will
-eventually produce a message.
+blocks), and the driver polls the result queue with a bounded timeout,
+reconciling worker liveness and per-shard deadlines whenever the poll
+comes up empty.
+
+Fault tolerance (PR 4): the driver supervises every shard attempt.
+Workers announce ``("start", shard, attempt, pid)`` before executing,
+which arms the shard's deadline (``retry_policy.timeout_s``) and ties
+it to a process for crash detection.  A shard's chunks are *held* by
+the driver until its final chunk arrives and the total row count
+matches the dispatched payload — order modification preserves row
+count, so a mismatch means silent corruption — and only then released
+to the ordered collector, so no corrupt or partial attempt ever
+reaches a consumer.  A failed attempt (worker error, death, timeout,
+or row-count mismatch) is retried up to ``retry_policy.retries``
+times on the surviving pool (dead and hung workers are replaced); a
+shard that exhausts its retries is *quarantined* — executed serially
+in the driver itself, where fault injection cannot reach — so one
+poisoned shard degrades gracefully instead of failing the query.
+Retries and degradations are visible as ``pool.shard_retries`` /
+``pool.shard_degraded`` counters and ``pool.*`` spans.
+
+Stragglers are harmless: every result message echoes its attempt
+number, and the driver discards messages from abandoned attempts.
 
 The start method defaults to the platform's (``fork`` on Linux) and can
 be forced — e.g. to ``spawn`` — via the ``REPRO_PARALLEL_START_METHOD``
@@ -25,14 +45,46 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import queue
 import time
+import traceback
 from typing import Iterable, Iterator
 
-from ..obs import METRICS
-from .collector import Chunk, OrderedCollector
-from .worker import ShardContext, worker_main
+from ..exec import memory
+from ..exec.config import RetryPolicy
+from ..obs import METRICS, TRACER
+from .collector import Chunk, OrderedCollector, ShardError
+from .worker import ShardContext, execute_shard, worker_main
 
 DEFAULT_CHUNK_ROWS = 8192
+
+#: Result-queue poll interval while idle: the cadence of liveness and
+#: deadline checks.  Short enough that a crashed worker is noticed
+#: promptly, long enough to stay invisible in profiles.
+POLL_INTERVAL_S = 0.2
+
+
+class _ShardState:
+    """Driver-side supervision record for one dispatched shard."""
+
+    __slots__ = (
+        "rows", "ovcs", "attempt", "pid", "deadline",
+        "held", "held_rows", "held_bytes", "failures",
+    )
+
+    def __init__(self, rows: list[tuple], ovcs: list[tuple]) -> None:
+        self.rows = rows
+        self.ovcs = ovcs
+        self.attempt = 0
+        self.pid: int | None = None
+        self.deadline: float | None = None
+        #: ``(seq, rows, ovcs, last, counters, telemetry)`` awaiting
+        #: validation — released to the collector only once the final
+        #: chunk arrives and the row count checks out.
+        self.held: list[tuple] = []
+        self.held_rows = 0
+        self.held_bytes = 0
+        self.failures = 0
 
 
 class ShardExecutor:
@@ -40,8 +92,11 @@ class ShardExecutor:
 
     One instance drives one job: call :meth:`run` once with an iterable
     of ``(rows, ovcs)`` payloads and consume the generator.  After
-    exhaustion, :attr:`stats` holds the merged worker counters and
-    :attr:`peak_buffered_rows` the collector's reorder high-water mark.
+    exhaustion, :attr:`stats` holds the merged worker counters,
+    :attr:`peak_buffered_rows` the collector's reorder high-water mark,
+    and :attr:`retried_shards` / :attr:`degraded_shards` the fault
+    recovery tallies.  ``retry_policy`` defaults to one retry with no
+    timeout (hang detection is opt-in; crash detection is always on).
     """
 
     def __init__(
@@ -51,6 +106,7 @@ class ShardExecutor:
         chunk_rows: int = DEFAULT_CHUNK_ROWS,
         max_inflight: int | None = None,
         start_method: str | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("need at least one worker")
@@ -67,7 +123,10 @@ class ShardExecutor:
             if start_method
             else multiprocessing.get_context()
         )
+        self._retry = retry_policy if retry_policy is not None else RetryPolicy()
         self._procs: list = []
+        self._tasks = None
+        self._results = None
         self.stats = None
         self.peak_buffered_rows = 0
         #: ``(shard, telemetry)`` pairs in shard order, from workers
@@ -76,19 +135,26 @@ class ShardExecutor:
         #: Seconds the driver spent blocked on results *because* the
         #: in-flight cap stalled feeding — the backpressure wait.
         self.backpressure_wait_s = 0.0
+        #: Shard attempts re-dispatched after a failure.
+        self.retried_shards = 0
+        #: Shards that exhausted retries and ran serially in the driver.
+        self.degraded_shards = 0
+
+    def _spawn_worker(self) -> None:
+        proc = self._mp.Process(
+            target=worker_main,
+            args=(self._ctx, self._tasks, self._results, self._chunk_rows),
+            daemon=True,
+        )
+        proc.start()
+        self._procs.append(proc)
 
     def _start(self):
-        tasks = self._mp.Queue()
-        results = self._mp.Queue()
+        self._tasks = self._mp.Queue()
+        self._results = self._mp.Queue()
         for _ in range(self._n_workers):
-            proc = self._mp.Process(
-                target=worker_main,
-                args=(self._ctx, tasks, results, self._chunk_rows),
-                daemon=True,
-            )
-            proc.start()
-            self._procs.append(proc)
-        return tasks, results
+            self._spawn_worker()
+        return self._tasks, self._results
 
     def _shutdown(self, tasks) -> None:
         for _ in self._procs:
@@ -109,6 +175,8 @@ class ShardExecutor:
         source = iter(payloads)
         exhausted = False
         dispatched = 0
+        #: shard -> _ShardState for every dispatched-but-unfinished shard.
+        states: dict[int, _ShardState] = {}
         metrics_on = METRICS.enabled
         try:
             while True:
@@ -122,7 +190,8 @@ class ShardExecutor:
                     except StopIteration:
                         exhausted = True
                         break
-                    tasks.put((dispatched, rows, ovcs))
+                    states[dispatched] = _ShardState(rows, ovcs)
+                    tasks.put((dispatched, 0, rows, ovcs))
                     dispatched += 1
                 if exhausted and collector.emitted_shards >= dispatched:
                     break
@@ -132,13 +201,17 @@ class ShardExecutor:
                 # Blocked on results while more payloads wait: that is
                 # the in-flight cap pushing back on the feeder.
                 stalled = not exhausted and inflight >= self._max_inflight
+                t0 = time.perf_counter()
+                try:
+                    message = results.get(timeout=self._poll_timeout(states))
+                except queue.Empty:
+                    if stalled:
+                        self.backpressure_wait_s += time.perf_counter() - t0
+                    yield from self._reap(states, tasks, collector)
+                    continue
                 if stalled:
-                    t0 = time.perf_counter()
-                    message = results.get()
                     self.backpressure_wait_s += time.perf_counter() - t0
-                else:
-                    message = results.get()
-                yield from collector.add(message)
+                yield from self._handle(message, states, tasks, collector)
         finally:
             self.stats = collector.stats
             self.peak_buffered_rows = collector.peak_buffered_rows
@@ -153,3 +226,207 @@ class ShardExecutor:
             self._shutdown(tasks)
             results.close()
             tasks.close()
+            self._tasks = self._results = None
+
+    # ------------------------------------------------------- supervision
+
+    def _poll_timeout(self, states: dict[int, _ShardState]) -> float:
+        """Sleep at most until the nearest shard deadline."""
+        timeout = POLL_INTERVAL_S
+        now = time.monotonic()
+        for st in states.values():
+            if st.deadline is not None:
+                timeout = min(timeout, st.deadline - now)
+        return max(0.01, timeout)
+
+    def _handle(
+        self,
+        message: tuple,
+        states: dict[int, _ShardState],
+        tasks,
+        collector: OrderedCollector,
+    ) -> list[Chunk]:
+        kind = message[0]
+        if kind == "start":
+            _, shard, attempt, pid = message
+            st = states.get(shard)
+            if st is not None and st.attempt == attempt:
+                st.pid = pid
+                if self._retry.timeout_s is not None:
+                    st.deadline = time.monotonic() + self._retry.timeout_s
+            return []
+        if kind == "error":
+            _, shard, attempt, tb = message
+            st = states.get(shard)
+            if st is None or st.attempt != attempt:
+                return []
+            return self._fail(shard, st, states, tasks, collector, tb)
+        _, shard, attempt, seq, rows, ovcs, last, counters, telemetry = message
+        st = states.get(shard)
+        if st is None or st.attempt != attempt:
+            return []  # straggler from an abandoned attempt
+        st.held.append((seq, rows, ovcs, last, counters, telemetry))
+        st.held_rows += len(rows)
+        accountant = memory.current()
+        if accountant is not None:
+            n_bytes = memory.rows_nbytes(rows, ovcs)
+            st.held_bytes += n_bytes
+            accountant.charge("pool.reorder", n_bytes)
+        if not last:
+            return []
+        if st.held_rows != len(st.rows):
+            return self._fail(
+                shard, st, states, tasks, collector,
+                f"row-count mismatch: shard {shard} returned {st.held_rows} "
+                f"rows for a {len(st.rows)}-row payload",
+            )
+        # Validated: release the attempt's chunks to the collector in
+        # sequence order (they arrive ordered from one worker, but a
+        # sort keeps that an implementation detail, not a correctness
+        # assumption).
+        ready: list[Chunk] = []
+        for seq, rows, ovcs, last, counters, telemetry in sorted(st.held):
+            ready.extend(
+                collector.add(
+                    ("chunk", shard, seq, rows, ovcs, last, counters, telemetry)
+                )
+            )
+        self._release_state(shard, st, states)
+        return ready
+
+    def _reap(
+        self,
+        states: dict[int, _ShardState],
+        tasks,
+        collector: OrderedCollector,
+    ) -> list[Chunk]:
+        """Liveness and deadline reconciliation (the empty-poll path)."""
+        ready: list[Chunk] = []
+        dead = [proc for proc in self._procs if not proc.is_alive()]
+        for proc in dead:
+            self._procs.remove(proc)
+            owned = [
+                (shard, st)
+                for shard, st in states.items()
+                if st.pid == proc.pid
+            ]
+            if not owned:
+                # The worker died before its start announcement reached
+                # us; it may have taken the oldest not-yet-started task
+                # with it.  Re-dispatching that shard is always safe:
+                # if the original task survives in the queue, its
+                # results carry a stale attempt number and are dropped.
+                unstarted = [
+                    (shard, st) for shard, st in states.items() if st.pid is None
+                ]
+                owned = unstarted[:1]
+            self._spawn_worker()
+            for shard, st in owned:
+                ready.extend(
+                    self._fail(
+                        shard, st, states, tasks, collector,
+                        f"worker pid {proc.pid} died (exit {proc.exitcode})",
+                    )
+                )
+        now = time.monotonic()
+        for shard, st in list(states.items()):
+            if st.deadline is None or now <= st.deadline:
+                continue
+            hung = next((p for p in self._procs if p.pid == st.pid), None)
+            if hung is not None:
+                hung.terminate()
+                hung.join(timeout=5)
+                self._procs.remove(hung)
+                self._spawn_worker()
+            ready.extend(
+                self._fail(
+                    shard, st, states, tasks, collector,
+                    f"shard {shard} timed out after {self._retry.timeout_s}s",
+                )
+            )
+        return ready
+
+    def _fail(
+        self,
+        shard: int,
+        st: _ShardState,
+        states: dict[int, _ShardState],
+        tasks,
+        collector: OrderedCollector,
+        reason: str,
+    ) -> list[Chunk]:
+        """One attempt failed: discard its output, retry or quarantine."""
+        self._discard_held(st)
+        st.pid = None
+        st.deadline = None
+        st.failures += 1
+        if st.failures <= self._retry.retries:
+            st.attempt += 1
+            self.retried_shards += 1
+            if METRICS.enabled:
+                METRICS.counter("pool.shard_retries").inc()
+            with TRACER.span(
+                "pool.shard_retry",
+                shard=shard,
+                attempt=st.attempt,
+                reason=reason.splitlines()[0][:200],
+            ):
+                tasks.put((shard, st.attempt, st.rows, st.ovcs))
+            return []
+        # Quarantine: the shard failed every pooled attempt.  Execute it
+        # serially in the driver — outside the workers, where injected
+        # faults (and most classes of environmental failure) cannot
+        # reach — so the query degrades instead of dying.
+        self.degraded_shards += 1
+        if METRICS.enabled:
+            METRICS.counter("pool.shard_degraded").inc()
+        with TRACER.span(
+            "pool.shard_degraded",
+            shard=shard,
+            rows=len(st.rows),
+            reason=reason.splitlines()[0][:200],
+        ):
+            try:
+                out_rows, out_ovcs, counters = execute_shard(
+                    st.rows, st.ovcs, self._ctx
+                )
+            except BaseException:
+                raise ShardError(shard, traceback.format_exc()) from None
+        n = len(out_rows)
+        step = self._chunk_rows
+        n_chunks = max(1, -(-n // step))
+        ready: list[Chunk] = []
+        for seq in range(n_chunks):
+            lo, hi = seq * step, min(n, (seq + 1) * step)
+            last = seq == n_chunks - 1
+            ready.extend(
+                collector.add(
+                    (
+                        "chunk", shard, seq, out_rows[lo:hi], out_ovcs[lo:hi],
+                        last, counters if last else None, None,
+                    )
+                )
+            )
+        self._release_state(shard, st, states)
+        return ready
+
+    def _discard_held(self, st: _ShardState) -> None:
+        st.held.clear()
+        st.held_rows = 0
+        if st.held_bytes:
+            accountant = memory.current()
+            if accountant is not None:
+                accountant.release("pool.reorder", st.held_bytes)
+            st.held_bytes = 0
+
+    def _release_state(
+        self, shard: int, st: _ShardState, states: dict[int, _ShardState]
+    ) -> None:
+        if st.held_bytes:
+            accountant = memory.current()
+            if accountant is not None:
+                accountant.release("pool.reorder", st.held_bytes)
+            st.held_bytes = 0
+        st.held.clear()
+        st.held_rows = 0
+        del states[shard]

@@ -13,18 +13,29 @@ non-packable key values), the reference executors otherwise.  Because a
 shard covers whole segments and no comparison ever crosses a segment
 boundary, the concatenated shard outputs are bit-identical — rows *and*
 codes — to a serial run.
+
+Fault tolerance: each task carries a 0-based ``attempt`` number (the
+driver counts retries), the worker announces ``("start", shard,
+attempt, pid)`` before executing — that is how the driver learns which
+process owns which shard, arming its timeout and crash detection — and
+every result message echoes the attempt so the driver can discard
+stragglers from abandoned attempts.  Deterministic fault injection
+(:mod:`repro.exec.faults`) hooks in right around shard execution; the
+fault plan rides inside the picklable :class:`ShardContext`, so it
+reaches ``spawn`` workers as reliably as ``fork`` ones.
 """
 
 from __future__ import annotations
 
 import os
 import traceback
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..core.analysis import ModificationPlan, Strategy
 from ..core.classify import split_segments
 from ..core.merge_runs import merge_preexisting_runs
 from ..core.segmented import sort_segment
+from ..exec.faults import Fault, corrupt_output, fire
 from ..model import Schema, SortSpec, Table
 from ..ovc.stats import ComparisonStats
 from ..sorting.merge import _key_projector
@@ -48,6 +59,10 @@ class ShardContext:
     trace: bool = False
     #: Record worker-side metrics and ship them on the final chunk.
     collect_metrics: bool = False
+    #: Deterministic fault plan (:mod:`repro.exec.faults`), consulted
+    #: only here in the worker — quarantined shards re-executed in the
+    #: driver bypass it by construction.
+    faults: tuple[Fault, ...] = field(default=())
 
 
 def execute_shard(
@@ -104,15 +119,23 @@ def execute_shard(
 def worker_main(ctx, tasks, results, chunk_rows: int) -> None:
     """Worker process loop: pull shards, push chunked results.
 
-    Result messages are ``("chunk", shard, seq, rows, ovcs, last,
-    counters, telemetry)`` — output shipped in batches of
-    ``chunk_rows`` rows to bound per-message pickle size — or
-    ``("error", shard, traceback)``.  The per-shard counters and the
-    telemetry (``{"pid", "shard", "spans", "metrics"}``, recorded while
-    ``ctx.trace`` / ``ctx.collect_metrics``) ride on the final chunk
-    only; every shipped span is tagged with the worker pid and shard
-    index so the collector can stitch one cross-process timeline.  A
-    ``None`` task is the shutdown signal.
+    Tasks are ``(index, attempt, rows, ovcs)``; a ``None`` task is the
+    shutdown signal.  The worker announces ``("start", index, attempt,
+    pid)`` before executing, then ships ``("chunk", index, attempt,
+    seq, rows, ovcs, last, counters, telemetry)`` messages — output in
+    batches of ``chunk_rows`` rows to bound per-message pickle size —
+    or ``("error", index, attempt, traceback)``.  The per-shard
+    counters and the telemetry (``{"pid", "shard", "spans",
+    "metrics"}``, recorded while ``ctx.trace`` /
+    ``ctx.collect_metrics``) ride on the final chunk only; every
+    shipped span is tagged with the worker pid and shard index so the
+    collector can stitch one cross-process timeline.
+
+    Injected faults (``ctx.faults``) fire between the start
+    announcement and execution: ``kill`` exits the process, ``hang``
+    sleeps past any sane timeout, ``error`` raises (the ordinary remote
+    traceback path), and ``corrupt`` silently truncates the finished
+    output — which the driver's row-count validation must catch.
     """
     from ..obs import METRICS, TRACER
 
@@ -134,12 +157,16 @@ def worker_main(ctx, tasks, results, chunk_rows: int) -> None:
         task = tasks.get()
         if task is None:
             break
-        index, rows, ovcs = task
+        index, attempt, rows, ovcs = task
+        results.put(("start", index, attempt, pid))
         try:
+            corrupting = fire(ctx.faults, index, attempt)
             with TRACER.span("shard.execute", rows=len(rows)):
                 out_rows, out_ovcs, counters = execute_shard(rows, ovcs, ctx)
+            if corrupting is not None:
+                out_rows, out_ovcs = corrupt_output(out_rows, out_ovcs)
         except BaseException:
-            results.put(("error", index, traceback.format_exc()))
+            results.put(("error", index, attempt, traceback.format_exc()))
             TRACER.reset()
             METRICS.reset()
             continue
@@ -168,6 +195,7 @@ def worker_main(ctx, tasks, results, chunk_rows: int) -> None:
                 (
                     "chunk",
                     index,
+                    attempt,
                     seq,
                     out_rows[lo:hi],
                     out_ovcs[lo:hi],

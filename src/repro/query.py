@@ -31,6 +31,8 @@ from .engine.pivot import Pivot
 from .engine.scans import TableScan
 from .engine.set_ops import Except, Intersect, UnionAll, UnionDistinct
 from .engine.sort_op import Sort
+from .exec.compat import resolve_config
+from .exec.config import ExecutionConfig
 from .model import SortSpec, Table
 
 
@@ -83,23 +85,27 @@ class Query:
         self,
         *columns: str,
         method: str = "auto",
-        engine: str = "auto",
+        engine: str | None = None,
         workers: int | str | None = None,
+        config: "ExecutionConfig | None" = None,
     ) -> "Query":
         """Enforce a sort order, exploiting the input order if related.
 
-        ``engine="fast"`` runs the sort through the packed-code kernels
-        (:mod:`repro.fastpath`) — same rows and codes, no comparison
-        counts on the operator's stats.  ``workers`` (an int or
-        ``"auto"``) shards segment-parallel order modification across
-        processes (:mod:`repro.parallel`); output is bit-identical and
-        small or unshardable jobs fall back to serial automatically.
+        ``config`` (an :class:`~repro.exec.ExecutionConfig`) governs
+        execution: ``engine="fast"`` runs the sort through the
+        packed-code kernels (:mod:`repro.fastpath`) — same rows and
+        codes, no comparison counts on the operator's stats;
+        ``workers`` (an int or ``"auto"``) shards segment-parallel
+        order modification across processes (:mod:`repro.parallel`)
+        with the config's retry/timeout policy — output is
+        bit-identical and small or unshardable jobs fall back to serial
+        automatically; ``memory_budget`` spills buffered output to disk
+        under pressure.  The standalone ``engine=``/``workers=`` kwargs
+        are deprecated spellings of the config fields.
         """
+        cfg = resolve_config(config, engine=engine, workers=workers)
         return self._wrap(
-            Sort(
-                self._op, SortSpec.of(*columns), method=method,
-                engine=engine, workers=workers,
-            )
+            Sort(self._op, SortSpec.of(*columns), method=method, config=cfg)
         )
 
     def group_by(

@@ -1,0 +1,90 @@
+"""Legacy-kwarg folding: one release of DeprecationWarning, then config=."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.core.modify import modify_sort_order
+from repro.exec import ExecutionConfig
+from repro.exec.compat import resolve_config
+from repro.model import Schema, SortSpec, Table
+from repro.ovc.derive import derive_ovcs
+
+
+def _table():
+    schema = Schema.of("A", "B", "C")
+    rows = sorted((a % 3, b % 4, (a + b) % 5) for a in range(6) for b in range(5))
+    table = Table(schema, rows, SortSpec.of("A", "B", "C"))
+    table.ovcs = derive_ovcs(rows, (0, 1, 2))
+    return table
+
+
+def test_no_args_returns_env_default(monkeypatch):
+    monkeypatch.delenv("REPRO_MEMORY_BUDGET", raising=False)
+    assert resolve_config(None) == ExecutionConfig.from_env()
+
+
+def test_explicit_config_passes_through_unwarned():
+    cfg = ExecutionConfig(workers=2)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert resolve_config(cfg) is cfg
+
+
+@pytest.mark.parametrize(
+    "kwargs,field,value",
+    [
+        ({"engine": "reference"}, "engine", "reference"),
+        ({"workers": 2}, "workers", 2),
+        ({"workers": "auto"}, "workers", "auto"),
+        ({"max_fan_in": 4}, "max_fan_in", 4),
+    ],
+)
+def test_legacy_kwarg_warns_and_folds(kwargs, field, value):
+    with pytest.warns(DeprecationWarning, match="deprecated"):
+        cfg = resolve_config(None, **kwargs)
+    assert getattr(cfg, field) == value
+
+
+def test_explicit_none_legacy_kwargs_do_not_warn():
+    # engine=None / workers=None are the documented "default" spellings.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        cfg = resolve_config(None, engine=None, workers=None, max_fan_in=None)
+    assert cfg.engine == "auto" and cfg.workers is None
+
+
+def test_config_plus_legacy_kwarg_is_ambiguous():
+    with pytest.raises(TypeError, match="not both"), warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        resolve_config(ExecutionConfig(), engine="fast")
+
+
+def test_modify_sort_order_legacy_engine_warns():
+    table = _table()
+    with pytest.warns(DeprecationWarning, match="engine="):
+        legacy = modify_sort_order(table, SortSpec.of("A", "C", "B"), engine="fast")
+    modern = modify_sort_order(
+        table, SortSpec.of("A", "C", "B"), config=ExecutionConfig(engine="fast")
+    )
+    assert legacy.rows == modern.rows
+    assert legacy.ovcs == modern.ovcs
+
+
+def test_modify_sort_order_config_plus_legacy_raises():
+    table = _table()
+    with pytest.raises(TypeError), warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        modify_sort_order(
+            table, SortSpec.of("A", "C", "B"),
+            engine="fast", config=ExecutionConfig(),
+        )
+
+
+def test_query_order_by_legacy_workers_warns():
+    from repro.query import Query
+
+    with pytest.warns(DeprecationWarning, match="workers="):
+        Query(_table()).order_by("A", "C", "B", workers=2)

@@ -1,0 +1,130 @@
+"""ExecutionConfig construction, validation, env parsing, and derivation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec import ExecutionConfig, RetryPolicy, parse_memory
+
+
+# ------------------------------------------------------------ parse_memory
+
+
+@pytest.mark.parametrize(
+    "value,expected",
+    [
+        (1, 1),
+        (4096, 4096),
+        ("512", 512),
+        ("1B", 1),
+        ("1K", 1024),
+        ("1KiB", 1024),
+        ("1KB", 1000),
+        ("1MiB", 1024 ** 2),
+        ("1MB", 1000 ** 2),
+        ("2GiB", 2 * 1024 ** 3),
+        ("1.5MiB", int(1.5 * 1024 ** 2)),
+        ("  64 kib ", 64 * 1024),
+        ("1_000", 1000),
+        (None, None),
+        ("", None),
+    ],
+)
+def test_parse_memory_accepts(value, expected):
+    assert parse_memory(value) == expected
+
+
+@pytest.mark.parametrize("value", [0, -1, "0B", "-5MiB", "1TiB", "xMiB", True])
+def test_parse_memory_rejects(value):
+    with pytest.raises(ValueError):
+        parse_memory(value)
+
+
+# --------------------------------------------------------- ExecutionConfig
+
+
+def test_defaults_are_ungoverned_serial_auto():
+    cfg = ExecutionConfig()
+    assert cfg.engine == "auto"
+    assert cfg.workers is None
+    assert cfg.max_fan_in is None
+    assert cfg.memory_budget is None
+    assert not cfg.governed
+    assert cfg.retry_policy == RetryPolicy(timeout_s=None, retries=1)
+
+
+def test_memory_budget_string_is_parsed_at_construction():
+    cfg = ExecutionConfig(memory_budget="1MiB")
+    assert cfg.memory_budget == 1024 ** 2
+    assert cfg.governed
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"engine": "turbo"},
+        {"workers": -1},
+        {"workers": 1.5},
+        {"workers": True},
+        {"max_fan_in": 1},
+        {"memory_budget": 0},
+        {"shard_timeout_s": 0},
+        {"shard_retries": -1},
+    ],
+)
+def test_invalid_fields_raise(kwargs):
+    with pytest.raises(ValueError):
+        ExecutionConfig(**kwargs)
+
+
+def test_frozen():
+    cfg = ExecutionConfig()
+    with pytest.raises(Exception):
+        cfg.engine = "fast"
+
+
+def test_with_returns_validated_copy():
+    cfg = ExecutionConfig(workers=2)
+    derived = cfg.with_(memory_budget="4KiB", engine="reference")
+    assert derived.workers == 2
+    assert derived.memory_budget == 4096
+    assert derived.engine == "reference"
+    assert cfg.memory_budget is None  # original untouched
+    with pytest.raises(ValueError):
+        cfg.with_(engine="bogus")
+
+
+def test_from_env_reads_all_fields():
+    env = {
+        "REPRO_ENGINE": "reference",
+        "REPRO_WORKERS": "4",
+        "REPRO_MAX_FAN_IN": "8",
+        "REPRO_MEMORY_BUDGET": "1MiB",
+        "REPRO_SPILL_DIR": "/tmp/spills",
+        "REPRO_SHARD_TIMEOUT": "2.5",
+        "REPRO_SHARD_RETRIES": "3",
+    }
+    cfg = ExecutionConfig.from_env(env)
+    assert cfg.engine == "reference"
+    assert cfg.workers == 4
+    assert cfg.max_fan_in == 8
+    assert cfg.memory_budget == 1024 ** 2
+    assert cfg.spill_dir == "/tmp/spills"
+    assert cfg.retry_policy == RetryPolicy(timeout_s=2.5, retries=3)
+
+
+def test_from_env_auto_workers_and_empty_env():
+    assert ExecutionConfig.from_env({"REPRO_WORKERS": "auto"}).workers == "auto"
+    assert ExecutionConfig.from_env({}) == ExecutionConfig()
+
+
+def test_default_respects_environment(monkeypatch):
+    monkeypatch.setenv("REPRO_MEMORY_BUDGET", "2KiB")
+    assert ExecutionConfig.default().memory_budget == 2048
+
+
+def test_retry_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(timeout_s=-1)
+    with pytest.raises(ValueError):
+        RetryPolicy(retries=-2)

@@ -1,0 +1,187 @@
+"""Fault-tolerant pool: kill, hang, corrupt, error — output never wrong.
+
+Every injected fault must end in one of two states: the shard succeeds
+on a retry, or it is quarantined and executed serially in the driver.
+Either way rows and codes are bit-identical to the serial engines' —
+degradation is graceful, never silent corruption.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.parallel.planner as planner
+from repro.core.analysis import analyze_order_modification
+from repro.core.modify import modify_sort_order
+from repro.exec import ExecutionConfig, Fault, parse_faults
+from repro.model import Schema, SortSpec
+from repro.obs import METRICS
+from repro.parallel.api import parallel_modify
+from repro.workloads.generators import random_sorted_table
+
+SCHEMA = Schema.of("A", "B", "C", "D")
+DOMAINS = [12, 24, 48, 8]
+SPEC_IN = SortSpec.of("A", "B", "C")
+SPEC_OUT = SortSpec.of("A", "C", "B")
+
+
+@pytest.fixture(autouse=True)
+def _force_parallel(monkeypatch):
+    monkeypatch.setattr(planner, "MIN_PARALLEL_ROWS", 0)
+
+
+@pytest.fixture(autouse=True)
+def _metrics():
+    METRICS.enable(clear=True)
+    yield
+    METRICS.reset()
+    METRICS.disable()
+
+
+def _table(n_rows=1200, seed=0):
+    return random_sorted_table(
+        SCHEMA, SPEC_IN, n_rows, domains=DOMAINS, seed=seed
+    )
+
+
+def _run(table, workers, faults, retries=1, timeout_s=None):
+    plan = analyze_order_modification(table.sort_spec, SPEC_OUT)
+    cfg = ExecutionConfig(
+        workers=workers, shard_retries=retries, shard_timeout_s=timeout_s
+    )
+    return parallel_modify(
+        table, SPEC_OUT, plan, plan.strategy, workers,
+        config=cfg, faults=faults,
+    )
+
+
+def _counters():
+    return METRICS.as_dict().get("counters", {})
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_kill_first_attempt_recovers_by_retry(workers):
+    table = _table()
+    baseline = modify_sort_order(table, SPEC_OUT)
+    result = _run(table, workers, parse_faults("kill@0x1"))
+    assert result is not None
+    assert result.rows == baseline.rows
+    assert result.ovcs == baseline.ovcs
+    counters = _counters()
+    assert counters.get("pool.shard_retries", 0) >= 1
+    assert counters.get("pool.shard_degraded", 0) == 0
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_persistent_kill_degrades_to_serial_shard(workers):
+    table = _table()
+    baseline = modify_sort_order(table, SPEC_OUT)
+    # times=None: the fault fires on every attempt, so retries are
+    # exhausted and the shard must be quarantined in the driver.
+    result = _run(table, workers, (Fault("kill", shard=0, times=None),))
+    assert result is not None
+    assert result.rows == baseline.rows
+    assert result.ovcs == baseline.ovcs
+    assert _counters().get("pool.shard_degraded", 0) == 1
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_hang_times_out_and_degrades(workers):
+    table = _table(n_rows=600)
+    baseline = modify_sort_order(table, SPEC_OUT)
+    result = _run(
+        table, workers,
+        (Fault("hang", shard=0, times=None, hang_s=60.0),),
+        retries=0, timeout_s=0.5,
+    )
+    assert result is not None
+    assert result.rows == baseline.rows
+    assert result.ovcs == baseline.ovcs
+    assert _counters().get("pool.shard_degraded", 0) == 1
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_corrupt_output_is_caught_not_emitted(workers):
+    table = _table()
+    baseline = modify_sort_order(table, SPEC_OUT)
+    # Silent truncation: the pool's row-count validation must catch it
+    # on both attempts and fall back to in-driver execution.
+    result = _run(table, workers, (Fault("corrupt", shard=0, times=None),))
+    assert result is not None
+    assert result.rows == baseline.rows
+    assert result.ovcs == baseline.ovcs
+    assert _counters().get("pool.shard_degraded", 0) == 1
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_error_fault_retries_then_degrades(workers):
+    table = _table()
+    baseline = modify_sort_order(table, SPEC_OUT)
+    result = _run(table, workers, (Fault("error", shard=1, times=None),))
+    assert result is not None
+    assert result.rows == baseline.rows
+    assert result.ovcs == baseline.ovcs
+    counters = _counters()
+    assert counters.get("pool.shard_retries", 0) >= 1
+    assert counters.get("pool.shard_degraded", 0) == 1
+
+
+def test_every_shard_corrupt_still_correct():
+    table = _table(n_rows=800)
+    baseline = modify_sort_order(table, SPEC_OUT)
+    result = _run(table, 2, parse_faults("corrupt@*"))
+    assert result is not None
+    assert result.rows == baseline.rows
+    assert result.ovcs == baseline.ovcs
+    assert _counters().get("pool.shard_degraded", 0) >= 2
+
+
+def test_stats_survive_degradation():
+    from repro.ovc.stats import ComparisonStats
+
+    table = _table()
+    base_stats = ComparisonStats()
+    baseline = modify_sort_order(table, SPEC_OUT, stats=base_stats)
+    plan = analyze_order_modification(table.sort_spec, SPEC_OUT)
+    stats = ComparisonStats()
+    cfg = ExecutionConfig(workers=2, shard_retries=0)
+    result = parallel_modify(
+        table, SPEC_OUT, plan, plan.strategy, 2,
+        stats=stats, config=cfg,
+        faults=(Fault("error", shard=0, times=None),),
+    )
+    assert result is not None
+    assert result.rows == baseline.rows
+    assert result.ovcs == baseline.ovcs
+    assert stats.as_dict() == base_stats.as_dict()
+
+
+def test_fault_plan_from_env(monkeypatch):
+    monkeypatch.setenv("REPRO_FAULTS", "kill@0x1")
+    table = _table(n_rows=600)
+    baseline = modify_sort_order(table, SPEC_OUT)
+    result = modify_sort_order(
+        table, SPEC_OUT, config=ExecutionConfig(workers=2)
+    )
+    assert result.rows == baseline.rows
+    assert result.ovcs == baseline.ovcs
+    assert _counters().get("pool.shard_retries", 0) >= 1
+
+
+def test_parse_faults_round_trip():
+    faults = parse_faults("kill@0x1, hang@2, corrupt@*x3")
+    assert faults == (
+        Fault("kill", shard=0, times=1),
+        Fault("hang", shard=2, times=None),
+        Fault("corrupt", shard=None, times=3),
+    )
+    assert faults[0].matches(0, 0)
+    assert not faults[0].matches(0, 1)
+    assert not faults[0].matches(1, 0)
+    assert faults[1].matches(2, 99)
+    assert faults[2].matches(7, 2)
+    assert not faults[2].matches(7, 3)
+    with pytest.raises(ValueError):
+        parse_faults("kill")
+    with pytest.raises(ValueError):
+        parse_faults("vaporize@0")

@@ -1,0 +1,125 @@
+"""MemoryAccountant, the activation scope, spill files, and the sink."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec.buffers import GovernedSink
+from repro.exec.memory import (
+    MemoryAccountant,
+    activate,
+    current,
+    rows_nbytes,
+)
+from repro.exec.spill import SpillManager
+
+
+def test_charge_release_peak_and_categories():
+    acct = MemoryAccountant(1000)
+    acct.charge("a", 600)
+    acct.charge("b", 300)
+    assert acct.used == 900
+    assert acct.peak == 900
+    assert not acct.over_budget()
+    acct.charge("a", 200)
+    assert acct.over_budget()
+    assert acct.headroom() == 0
+    acct.release("a", 800)
+    assert acct.used == 300
+    assert acct.peak == 1100  # peak is monotone
+    assert acct.by_category == {"a": 0, "b": 300}
+    assert acct.headroom() == 700
+
+
+def test_unlimited_budget_tracks_but_never_fires():
+    acct = MemoryAccountant(None)
+    acct.charge("x", 10**9)
+    assert not acct.over_budget()
+    assert acct.headroom() is None
+
+
+def test_zero_and_negative_charges_ignored():
+    acct = MemoryAccountant(100)
+    acct.charge("x", 0)
+    acct.charge("x", -5)
+    acct.release("x", 50)  # over-release clamps at zero
+    assert acct.used == 0
+
+
+def test_invalid_budget_rejected():
+    with pytest.raises(ValueError):
+        MemoryAccountant(0)
+
+
+def test_activate_scopes_and_restores():
+    assert current() is None
+    outer = MemoryAccountant(100)
+    inner = MemoryAccountant(200)
+    with activate(outer):
+        assert current() is outer
+        with activate(inner):
+            assert current() is inner
+        assert current() is outer
+        with activate(None):  # no-op scope
+            assert current() is outer
+    assert current() is None
+
+
+def test_activate_restores_on_exception():
+    acct = MemoryAccountant(100)
+    with pytest.raises(RuntimeError):
+        with activate(acct):
+            raise RuntimeError("boom")
+    assert current() is None
+
+
+def test_rows_nbytes_counts_rows_and_codes():
+    rows = [(1, 2), (3, 4)]
+    bare = rows_nbytes(rows)
+    coded = rows_nbytes(rows, [(0, 1), (1, 2)])
+    assert bare > 0
+    assert coded == bare + 2 * 16
+
+
+def test_spill_manager_round_trip(tmp_path):
+    with SpillManager(str(tmp_path)) as spill:
+        rows = [(i, i * 2) for i in range(100)]
+        ovcs = [(0, i) for i in range(100)]
+        handle = spill.spill(rows, ovcs, "test")
+        got_rows, got_ovcs = handle.read()
+        assert got_rows == rows
+        assert got_ovcs == ovcs
+        handle.release()
+    # Context exit removes the spill directory's contents.
+    assert not list(tmp_path.glob("repro-spill-*"))
+
+
+def test_sink_spills_under_pressure_and_restores_order(tmp_path):
+    acct = MemoryAccountant(256)
+    with SpillManager(str(tmp_path)) as spill:
+        sink = GovernedSink(acct, spill, chunk_rows=8)
+        all_rows, all_ovcs = [], []
+        for seg in range(10):
+            rows = [(seg, i) for i in range(20)]
+            ovcs = [(0 if i == 0 else 1, i) for i in range(20)]
+            sink.absorb(rows, ovcs)
+            all_rows.extend(rows)
+            all_ovcs.extend(ovcs)
+        assert sink.spill_count > 0
+        assert acct.spill_count == sink.spill_count
+        out_rows, out_ovcs = sink.materialize()
+    assert out_rows == all_rows
+    assert out_ovcs == all_ovcs
+    assert acct.used == 0  # every charge released
+
+
+def test_sink_without_pressure_keeps_everything_in_memory(tmp_path):
+    acct = MemoryAccountant(10**9)
+    with SpillManager(str(tmp_path)) as spill:
+        sink = GovernedSink(acct, spill)
+        sink.absorb([(1,), (2,)], [(0, 1), (1, 2)])
+        assert sink.spill_count == 0
+        rows, ovcs = sink.materialize()
+    assert rows == [(1,), (2,)]
+    assert ovcs == [(0, 1), (1, 2)]
+    assert acct.used == 0
