@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Gate: adaptive dispatch must never regress serial; shm path stays exact.
+
+``workers="auto"`` promises "parallel only when predicted to win": the
+dispatcher consults the per-host calibration and stays serial whenever
+the pool cannot pay for itself (always true on the 1-cpu CI runners).
+This script holds it to that promise without cross-commit timing:
+
+1. for every Table 1 case, best-of-3 time the serial engine and the
+   ``workers="auto"`` configuration on the same table;
+2. require ``auto <= max(1.05 * serial, serial + 50 ms)`` per case —
+   the absolute slack keeps sub-millisecond cells from flaking;
+3. run a ``workers=2`` pass with the shared-memory data plane forced
+   (tiny-input threshold suspended so the pool actually engages) and
+   require bit-identical rows and codes against serial.
+
+Exit status is non-zero on any violation, so CI can gate on it.
+
+Run:  python benchmarks/check_adaptive_dispatch.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+sys.path.insert(0, "src")
+
+from repro.core.modify import modify_sort_order  # noqa: E402
+from repro.exec import ExecutionConfig  # noqa: E402
+from repro.model import Schema, SortSpec  # noqa: E402
+from repro.parallel import planner  # noqa: E402
+from repro.workloads.generators import random_sorted_table  # noqa: E402
+
+SCHEMA = Schema.of("A", "B", "C", "D")
+
+#: Table 1 prototype cases: (input key, output key).
+CASES = (
+    (("A", "B"), ("A",)),
+    (("A",), ("A", "B")),
+    (("A", "B"), ("B",)),
+    (("A", "B"), ("B", "A")),
+    (("A", "B", "C"), ("A", "C")),
+    (("A", "B", "C"), ("A", "C", "B")),
+    (("A", "B", "C", "D"), ("A", "C", "D")),
+    (("A", "B", "C", "D"), ("A", "C", "B", "D")),
+)
+
+N_ROWS = 1 << 13
+REL_SLACK = 0.05  # auto may cost at most 5% over serial...
+ABS_SLACK_S = 0.05  # ...or 50 ms, whichever is larger (tiny cells jitter)
+REPEATS = 3
+
+
+def _table(input_key):
+    domains = {"A": 32, "B": 64, "C": 256, "D": 8}
+    return random_sorted_table(
+        SCHEMA, SortSpec(input_key), N_ROWS,
+        domains=[domains[c] for c in SCHEMA.columns], seed=7,
+    )
+
+
+def _time(fn) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main() -> int:
+    failures = 0
+    auto_cfg = ExecutionConfig(workers="auto")
+    print(f"adaptive-dispatch gate: {len(CASES)} Table 1 cases, "
+          f"{N_ROWS:,} rows each")
+    for input_key, output_key in CASES:
+        label = f"{','.join(input_key)} -> {','.join(output_key)}"
+        table = _table(input_key)
+        spec = SortSpec(output_key)
+        serial_s = _time(lambda: modify_sort_order(table, spec))
+        auto_s = _time(
+            lambda: modify_sort_order(table, spec, config=auto_cfg)
+        )
+        budget_s = max(serial_s * (1 + REL_SLACK), serial_s + ABS_SLACK_S)
+        verdict = "ok" if auto_s <= budget_s else "FAIL"
+        failures += verdict == "FAIL"
+        print(
+            f"  {label:24s} serial {serial_s * 1e3:7.1f} ms   "
+            f"auto {auto_s * 1e3:7.1f} ms   budget "
+            f"{budget_s * 1e3:7.1f} ms   {verdict}"
+        )
+
+    # Fidelity over the shared-memory plane: force the pool to engage.
+    print("workers=2 fidelity over the shared-memory data plane:")
+    shm_cfg = ExecutionConfig(workers=2, data_plane="shm")
+    saved_threshold = planner.MIN_PARALLEL_ROWS
+    planner.MIN_PARALLEL_ROWS = 0
+    try:
+        for input_key, output_key in CASES:
+            label = f"{','.join(input_key)} -> {','.join(output_key)}"
+            table = _table(input_key)
+            spec = SortSpec(output_key)
+            serial = modify_sort_order(table, spec)
+            parallel = modify_sort_order(table, spec, config=shm_cfg)
+            identical = (
+                parallel.rows == serial.rows and parallel.ovcs == serial.ovcs
+            )
+            failures += not identical
+            print(f"  {label:24s} {'ok' if identical else 'DIVERGED'}")
+    finally:
+        planner.MIN_PARALLEL_ROWS = saved_threshold
+
+    if failures:
+        print(f"FAIL: {failures} violation(s)")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,7 +43,11 @@ def _parallel_sweep(args) -> int:
         write_parallel_trajectory,
     )
 
-    workers = [int(w) for w in args.workers.split(",") if w.strip()]
+    workers = [
+        w.strip() if w.strip() == "auto" else int(w)
+        for w in args.workers.split(",")
+        if w.strip()
+    ]
     record = run_parallel_trajectory(
         1 << args.log2_rows, workers=workers, seed=args.seed,
         repeats=args.repeats,
@@ -74,9 +78,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--workers",
         default=None,
-        metavar="N[,N...]",
-        help="sweep the parallel subsystem at these worker counts and"
-        " write BENCH_parallel.json instead of the fast-path cells",
+        metavar="N[,N|auto...]",
+        help="sweep the parallel subsystem at these worker counts"
+        " ('auto' keeps adaptive dispatch) and write"
+        " BENCH_parallel.json instead of the fast-path cells",
     )
     args = parser.parse_args(argv)
 

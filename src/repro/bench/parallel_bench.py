@@ -35,7 +35,18 @@ PARALLEL_CELLS = tuple(
     for method in ("segment_sort", "combined")
 )
 
-DEFAULT_WORKERS = (1, 2, 4)
+DEFAULT_WORKERS = (1, 2, 4, "auto")
+
+#: Phase counters lifted from the pool's metrics into each bench cell,
+#: so the artifact shows where parallel wall-clock goes (compute vs
+#: data-plane packing vs residual IPC/coordination).
+_PHASE_COUNTERS = (
+    ("pack_seconds", "pool.pack_seconds"),
+    ("compute_seconds", "pool.compute_seconds"),
+    ("ipc_seconds", "pool.ipc_seconds"),
+    ("ipc_bytes", "pool.ipc_bytes"),
+    ("shm_blocks", "pool.shm_blocks"),
+)
 
 
 def _time(fn, repeats: int) -> float:
@@ -65,9 +76,19 @@ def _snapshot_run(run) -> tuple:
             METRICS.disable()
 
 
+def _phases(snapshot: dict) -> dict:
+    """Per-phase breakdown of one parallel run, from the pool counters."""
+    counters = snapshot.get("counters", {})
+    phases = {}
+    for name, counter in _PHASE_COUNTERS:
+        value = counters.get(counter, 0)
+        phases[name] = round(value, 4) if isinstance(value, float) else value
+    return phases
+
+
 def _cell(
     label: str, table, spec, method: str,
-    workers: Sequence[int], repeats: int,
+    workers: Sequence, repeats: int,
     collect_metrics: bool = False,
 ) -> dict:
     if collect_metrics:
@@ -89,16 +110,14 @@ def _cell(
     if serial_metrics is not None:
         cell["metrics"] = serial_metrics
     for w in workers:
-        if w < 2:
+        if isinstance(w, int) and w < 2:
             continue
         cfg = ExecutionConfig(workers=w)
-        if collect_metrics:
-            parallel, par_metrics = _snapshot_run(
-                lambda: modify_sort_order(table, spec, method=method, config=cfg)
-            )
-        else:
-            parallel = modify_sort_order(table, spec, method=method, config=cfg)
-            par_metrics = None
+        # Untimed instrumented run: fidelity check plus the per-phase
+        # breakdown (metric bookkeeping never touches the timed runs).
+        parallel, par_metrics = _snapshot_run(
+            lambda: modify_sort_order(table, spec, method=method, config=cfg)
+        )
         fidelity = (
             parallel.rows == serial.rows and parallel.ovcs == serial.ovcs
         )
@@ -107,13 +126,21 @@ def _cell(
             lambda: modify_sort_order(table, spec, method=method, config=cfg),
             repeats,
         )
-        cell["workers"][str(w)] = {
+        phases = _phases(par_metrics)
+        # "auto" may legitimately stay serial (adaptive dispatch); the
+        # pool's phase counters only exist when the pool actually ran.
+        engaged = "pool.pack_seconds" in par_metrics.get("counters", {})
+        entry = {
             "seconds": round(par_s, 4),
             "speedup": round(serial_s / par_s, 2),
             "fidelity_ok": fidelity,
+            "pool_engaged": engaged,
         }
-        if par_metrics is not None:
-            cell["workers"][str(w)]["metrics"] = par_metrics
+        if engaged:
+            entry["phases"] = phases
+        if collect_metrics:
+            entry["metrics"] = par_metrics
+        cell["workers"][str(w)] = entry
     return cell
 
 
@@ -128,9 +155,12 @@ def run_parallel_trajectory(
     """The serial-vs-workers sweep; returns the JSON-ready record.
 
     The dispatcher's tiny-input threshold is suspended for the sweep so
-    the pool is *always* exercised — the point is to measure sharding
-    and IPC cost (or win) at the requested scale, not the dispatcher's
-    decision to avoid it.
+    the pool is *always* exercised for explicit worker counts — the
+    point is to measure sharding and IPC cost (or win) at the requested
+    scale, not the dispatcher's decision to avoid it.  A ``"auto"``
+    entry keeps its adaptive behavior (core count + calibration) and
+    documents what the default dispatch actually does on this host;
+    its ``pool_engaged`` flag records whether the pool ran at all.
     """
     from ..parallel import planner
 

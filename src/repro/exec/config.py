@@ -28,6 +28,8 @@ from dataclasses import dataclass
 
 _ENGINES = ("auto", "fast", "reference")
 
+_DATA_PLANES = ("auto", "shm", "pickle")
+
 #: Multipliers for the memory-size suffixes :func:`parse_memory` accepts.
 _UNITS = {
     "b": 1,
@@ -121,6 +123,12 @@ class ExecutionConfig:
         Directory for spill files; ``None`` uses the system temp dir.
     shard_timeout_s / shard_retries:
         The pool's :class:`RetryPolicy` (see there).
+    data_plane:
+        Worker IPC protocol: ``"auto"`` (shared-memory plane whenever
+        the job qualifies — fast-path engine under ``fork``), ``"shm"``
+        (force the plane; error when impossible), or ``"pickle"``
+        (force the legacy pickled-chunk protocol).  See
+        :mod:`repro.parallel.shm`.
     trace / metrics:
         Tri-state observability requests: ``True`` force-enables the
         span tracer / metrics registry for governed runs, ``False``
@@ -135,6 +143,7 @@ class ExecutionConfig:
     spill_dir: str | None = None
     shard_timeout_s: float | None = None
     shard_retries: int = 1
+    data_plane: str = "auto"
     trace: bool | None = None
     metrics: bool | None = None
 
@@ -142,6 +151,11 @@ class ExecutionConfig:
         if self.engine not in _ENGINES:
             raise ValueError(
                 f"unknown engine {self.engine!r}; choose from {sorted(_ENGINES)}"
+            )
+        if self.data_plane not in _DATA_PLANES:
+            raise ValueError(
+                f"unknown data plane {self.data_plane!r}; "
+                f"choose from {sorted(_DATA_PLANES)}"
             )
         if self.workers is not None and self.workers != "auto":
             if isinstance(self.workers, bool) or not isinstance(self.workers, int):
@@ -189,7 +203,8 @@ class ExecutionConfig:
         Recognized: ``REPRO_ENGINE``, ``REPRO_WORKERS`` (int or
         ``auto``), ``REPRO_MAX_FAN_IN``, ``REPRO_MEMORY_BUDGET``
         (``parse_memory`` syntax), ``REPRO_SPILL_DIR``,
-        ``REPRO_SHARD_TIMEOUT`` (seconds), ``REPRO_SHARD_RETRIES``.
+        ``REPRO_SHARD_TIMEOUT`` (seconds), ``REPRO_SHARD_RETRIES``,
+        ``REPRO_DATA_PLANE`` (``auto``/``shm``/``pickle``).
         Unset variables keep the field defaults.
         """
         e = os.environ if env is None else env
@@ -209,6 +224,8 @@ class ExecutionConfig:
             kwargs["shard_timeout_s"] = float(e["REPRO_SHARD_TIMEOUT"])
         if e.get("REPRO_SHARD_RETRIES"):
             kwargs["shard_retries"] = int(e["REPRO_SHARD_RETRIES"])
+        if e.get("REPRO_DATA_PLANE"):
+            kwargs["data_plane"] = e["REPRO_DATA_PLANE"]
         return cls(**kwargs)
 
     def with_(self, **overrides) -> "ExecutionConfig":

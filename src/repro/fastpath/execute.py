@@ -199,6 +199,61 @@ def fast_modify(
     return Table(table.schema, out_rows, new_spec, out_ovcs)
 
 
+def fast_modify_perm(
+    schema,
+    rows: Sequence[tuple],
+    ovcs: Sequence[tuple],
+    new_spec: SortSpec,
+    plan: ModificationPlan,
+    strategy: Strategy,
+    segments: Sequence[tuple[int, int]] | None = None,
+) -> tuple[list[int], list[tuple]]:
+    """Like :func:`fast_modify`, but emit a permutation, not rows.
+
+    Returns ``(perm, out_ovcs)`` where ``perm[i]`` is the index into
+    ``rows`` of the ``i``-th output row.  This is the shape the
+    shared-memory data plane ships: a worker writes ``perm`` and the
+    split codes into flat buffers and the driver materializes
+    ``rows[perm[i]]`` lazily against its own row objects — no row ever
+    crosses the process boundary.  Only the segment-parallel strategies
+    are supported (the planner shards nothing else).
+    """
+    n = len(rows)
+    k_out = new_spec.arity
+    perm: list[int] = []
+    out_ovcs: list[tuple] = []
+    if n == 0:
+        return perm, out_ovcs
+    keysrc, codec, colpos = _key_access(
+        rows, new_spec.positions(schema), new_spec.directions, k_out
+    )
+    pos0 = colpos[0]
+    p = plan.prefix_len
+    if segments is None:
+        segments = split_segments(ovcs, p, n)
+
+    if strategy is Strategy.SEGMENT_SORT:
+        start = min(p, k_out)
+        packed = codec.pack_range(start, k_out)
+        varying = [(d, colpos[d]) for d in codec.varying_columns(start, k_out)]
+        for lo, hi in segments:
+            fast_sort_segment(
+                rows, ovcs, keysrc, packed, varying, pos0, lo, hi, p,
+                k_out, None, out_ovcs, out_perm=perm,
+            )
+    elif strategy is Strategy.COMBINED:
+        packed = codec.pack_range(p, p + plan.merge_len)
+        varying = [(d, colpos[d]) for d in codec.varying_columns(p, k_out)]
+        for lo, hi in segments:
+            fast_merge_runs(
+                rows, ovcs, keysrc, packed, varying, pos0, lo, hi, plan,
+                None, out_ovcs, respect_prefix=True, out_perm=perm,
+            )
+    else:
+        raise ValueError(f"strategy {strategy} is not segment-shardable")
+    return perm, out_ovcs
+
+
 def _charge_packed(accountant, packed) -> int:
     """Charge a packed-code array to the active accountant (8B/code)."""
     if accountant is None:

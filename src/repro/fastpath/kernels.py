@@ -72,8 +72,9 @@ def fast_sort_segment(
     hi: int,
     prefix_len: int,
     output_arity: int,
-    out_rows: list[tuple],
+    out_rows: list[tuple] | None,
     out_ovcs: list[tuple],
+    out_perm: list[int] | None = None,
 ) -> None:
     """Sort rows ``[lo, hi)`` (one segment) on the desired order.
 
@@ -82,6 +83,11 @@ def fast_sort_segment(
     values (consulted only to reconstruct codes; ``pos0`` indexes key
     column 0).  Mirrors :func:`repro.core.segmented.sort_segment` with
     ``use_ovc=True``.
+
+    With ``out_perm``, the kernel emits the segment's output as row
+    *indices* into ``rows`` instead of materializing row objects into
+    ``out_rows`` — the shared-memory data plane's output shape, where
+    a worker ships a permutation and the driver materializes lazily.
     """
     if hi <= lo:
         return
@@ -92,18 +98,18 @@ def fast_sort_segment(
         with TRACER.span("fastpath.sort_segment", rows=hi - lo):
             _fast_sort_segment(
                 rows, ovcs, keysrc, packed, varying, pos0, lo, hi,
-                prefix_len, output_arity, out_rows, out_ovcs,
+                prefix_len, output_arity, out_rows, out_ovcs, out_perm,
             )
         return
     _fast_sort_segment(
         rows, ovcs, keysrc, packed, varying, pos0, lo, hi,
-        prefix_len, output_arity, out_rows, out_ovcs,
+        prefix_len, output_arity, out_rows, out_ovcs, out_perm,
     )
 
 
 def _fast_sort_segment(
     rows, ovcs, keysrc, packed, varying, pos0, lo, hi,
-    prefix_len, output_arity, out_rows, out_ovcs,
+    prefix_len, output_arity, out_rows, out_ovcs, out_perm=None,
 ) -> None:
     p = prefix_len
     k_out = output_arity
@@ -111,13 +117,19 @@ def _fast_sort_segment(
     if p >= k_out:
         # Shared prefix covers the whole desired key: all rows are
         # duplicates under the new order; copy through.
-        out_rows.extend(rows[lo:hi])
+        if out_perm is not None:
+            out_perm.extend(range(lo, hi))
+        else:
+            out_rows.extend(rows[lo:hi])
         out_ovcs.append(ovcs[lo])
         out_ovcs.extend([(k_out, 0)] * (hi - lo - 1))
         return
 
     order = sorted(range(lo, hi), key=packed.__getitem__)
-    out_rows.extend([rows[i] for i in order])
+    if out_perm is not None:
+        out_perm.extend(order)
+    else:
+        out_rows.extend([rows[i] for i in order])
 
     first = order[0]
     # The segment's first output row inherits the saved segment-head
@@ -154,11 +166,15 @@ def fast_merge_runs(
     lo: int,
     hi: int,
     plan: ModificationPlan,
-    out_rows: list[tuple],
+    out_rows: list[tuple] | None,
     out_ovcs: list[tuple],
     respect_prefix: bool = True,
+    out_perm: list[int] | None = None,
 ) -> None:
     """Merge the pre-existing runs of rows ``[lo, hi)`` into the output.
+
+    With ``out_perm``, output rows are emitted as indices into ``rows``
+    (see :func:`fast_sort_segment`).
 
     ``packed`` holds each row's restricted key — output key columns
     ``[head_offset, |P|+|M|)`` — folded into one int; ``keysrc``/
@@ -177,18 +193,18 @@ def fast_merge_runs(
         with TRACER.span("fastpath.merge_segment", rows=hi - lo):
             _fast_merge_runs(
                 rows, ovcs, keysrc, packed, varying, pos0, lo, hi, plan,
-                out_rows, out_ovcs, respect_prefix,
+                out_rows, out_ovcs, respect_prefix, out_perm,
             )
         return
     _fast_merge_runs(
         rows, ovcs, keysrc, packed, varying, pos0, lo, hi, plan,
-        out_rows, out_ovcs, respect_prefix,
+        out_rows, out_ovcs, respect_prefix, out_perm,
     )
 
 
 def _fast_merge_runs(
     rows, ovcs, keysrc, packed, varying, pos0, lo, hi, plan,
-    out_rows, out_ovcs, respect_prefix,
+    out_rows, out_ovcs, respect_prefix, out_perm=None,
 ) -> None:
     x = plan.infix_len
     k_out = plan.output_arity
@@ -198,9 +214,14 @@ def _fast_merge_runs(
     dup_boundary = run_boundary + plan.merge_len
     tail_boundary = dup_boundary + plan.tail_len
 
-    first_out = len(out_rows)
+    # out_ovcs stays in lockstep with the emitted rows (or permutation
+    # entries), so its length marks this segment's first output slot.
+    first_out = len(out_ovcs)
     order = sorted(range(lo, hi), key=packed.__getitem__)
-    out_rows.extend([rows[i] for i in order])
+    if out_perm is not None:
+        out_perm.extend(order)
+    else:
+        out_rows.extend([rows[i] for i in order])
 
     out_ovcs.append((0, keysrc[order[0]][pos0]))
     append = out_ovcs.append

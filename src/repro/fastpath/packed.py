@@ -41,7 +41,28 @@ normalization only matters for descending columns.
 
 from __future__ import annotations
 
+from array import array
 from typing import Sequence
+
+
+def pack_codes(ovcs: Sequence[tuple]) -> tuple[array, array]:
+    """Split paper-form codes into flat ``(offsets, values)`` word arrays.
+
+    The shared-memory data plane (:mod:`repro.parallel.shm`) ships
+    codes as two ``array('q')`` regions instead of a pickled tuple
+    list.  Raises ``TypeError``/``OverflowError`` when a value is not a
+    machine-word int (strings, ``None``, big ints) — callers fall back
+    to the pickled protocol, which round-trips anything.
+    """
+    offsets = array("q", [o for o, _ in ovcs])
+    values = array("q", [v for _, v in ovcs])
+    return offsets, values
+
+
+def unpack_codes(offsets, values) -> list[tuple]:
+    """Inverse of :func:`pack_codes` over any two int sequences
+    (typically ``memoryview`` slices of a shared-memory region)."""
+    return list(zip(offsets, values))
 
 
 class PackedCodec:

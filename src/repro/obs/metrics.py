@@ -24,6 +24,16 @@ Three instrument kinds:
 Like the tracer, the registry is off by default and every hot call site
 gates on :attr:`MetricsRegistry.enabled`, so the disabled cost is one
 attribute check.
+
+Well-known names grown so far (beyond the ``ovc.*`` comparison
+counters): the pool's phase accounting ``pool.pack_seconds`` /
+``pool.compute_seconds`` / ``pool.ipc_seconds`` / ``pool.ipc_bytes``,
+the shared-memory data plane's ``pool.shm_blocks`` /
+``pool.shm_bytes``, the adaptive dispatcher's ``pool.adaptive_serial``
+(auto stayed serial below the calibrated break-even), and the
+``calibrate.*`` gauges (``kernel_ns_row``, ``pickle_ns_row``,
+``plane_ns_row``, ``min_parallel_rows_w2``, ``chunk_rows``) recording
+what the per-host calibration measured and derived.
 """
 
 from __future__ import annotations

@@ -31,6 +31,7 @@ from ..exec.config import ExecutionConfig
 from ..model import SortSpec, Table
 from ..obs import METRICS, TRACER
 from ..ovc.stats import ComparisonStats
+from . import calibrate
 from .planner import ShardPlan, plan_shards
 from .pool import DEFAULT_CHUNK_ROWS, ShardExecutor
 from .worker import ShardContext
@@ -73,12 +74,13 @@ def parallel_modify(
     stats: ComparisonStats | None = None,
     max_fan_in: int | None = None,
     min_rows: int | None = None,
-    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    chunk_rows: int | None = None,
     start_method: str | None = None,
     config: ExecutionConfig | None = None,
     segments: list[tuple[int, int]] | None = None,
     sink=None,
     faults=None,
+    data_plane: str | None = None,
 ) -> Table | None:
     """Execute ``strategy`` across worker processes; ``None`` if serial.
 
@@ -87,21 +89,47 @@ def parallel_modify(
     to the serial engines' output, and ``stats`` (if given) has absorbed
     the workers' reference-path counters.
 
-    ``config`` supplies engine, fan-in cap, and the pool's
-    retry/timeout policy in one object (overriding the loose
+    ``config`` supplies engine, fan-in cap, data-plane choice, and the
+    pool's retry/timeout policy in one object (overriding the loose
     ``engine``/``max_fan_in`` parameters); ``segments`` are
     pre-computed segment boundaries (classification runs once, in the
     dispatcher); ``sink`` is an optional governed output buffer that
     absorbs ordered chunks as they stream (spilling under budget
     pressure); ``faults`` overrides the injected-fault plan (defaults
     to ``REPRO_FAULTS``).
+
+    ``data_plane`` selects the worker IPC protocol: ``"auto"`` (the
+    default) uses the zero-copy shared-memory plane whenever it can —
+    fast-path engine, ``fork`` start method — and the legacy pickled
+    chunks otherwise; ``"shm"`` forces the plane (``ValueError`` when
+    impossible); ``"pickle"`` forces the legacy protocol.
+
+    ``workers="auto"`` is *adaptive*: besides the core count, it
+    consults the per-host calibration (:mod:`repro.parallel.calibrate`)
+    and stays serial whenever the measured break-even input size says
+    the pool cannot win — so "auto" never regresses a serial run.
+    Explicit worker counts are taken at face value.
     """
     retry_policy = None
     if config is not None:
         engine = config.engine
         max_fan_in = config.max_fan_in
         retry_policy = config.retry_policy
+        if data_plane is None:
+            data_plane = config.data_plane
+    if data_plane is None:
+        data_plane = os.environ.get("REPRO_DATA_PLANE") or "auto"
     n_workers = resolve_workers(workers)
+    if n_workers < 2:
+        # Covers workers="auto" on a single-core host: resolve to
+        # serial immediately, before any planning or pool cost.
+        return None
+    if workers == "auto" and min_rows is None:
+        threshold = calibrate.get().min_parallel_rows(n_workers)
+        if len(table.rows) < threshold:
+            if METRICS.enabled:
+                METRICS.counter("pool.adaptive_serial").inc()
+            return None
     shard_plan = plan_shards(
         table.ovcs, len(table.rows), plan, strategy, n_workers,
         min_rows=min_rows, segments=segments,
@@ -127,9 +155,20 @@ def parallel_modify(
         retry_policy=retry_policy,
     )
     rows, ovcs = table.rows, table.ovcs
-    payloads = (
-        (rows[s.lo : s.hi], ovcs[s.lo : s.hi]) for s in shard_plan.shards
-    )
+    plane_ok = ctx.use_fast and executor.start_method == "fork"
+    if data_plane == "shm" and not plane_ok:
+        raise ValueError(
+            "data_plane='shm' needs the fork start method and a fast-path "
+            "engine (no stats, no fan-in cap)"
+        )
+    if plane_ok and data_plane != "pickle":
+        stream = executor.run_plane(
+            rows, ovcs, [(s.lo, s.hi) for s in shard_plan.shards]
+        )
+    else:
+        stream = executor.run(
+            (rows[s.lo : s.hi], ovcs[s.lo : s.hi]) for s in shard_plan.shards
+        )
     out_rows: list[tuple] = []
     out_ovcs: list[tuple] = []
     with TRACER.span(
@@ -138,7 +177,7 @@ def parallel_modify(
         shards=len(shard_plan.shards),
         strategy=strategy.name.lower(),
     ):
-        for chunk_rows_batch, chunk_ovcs in executor.run(payloads):
+        for chunk_rows_batch, chunk_ovcs in stream:
             if sink is not None:
                 sink.absorb(chunk_rows_batch, chunk_ovcs)
             else:

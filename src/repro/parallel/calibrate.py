@@ -1,0 +1,243 @@
+"""Per-host calibration: measured constants behind dispatch decisions.
+
+The planner's serial-vs-parallel threshold and the pool's chunk size
+used to be magic numbers (``MIN_PARALLEL_ROWS = 8192``,
+``DEFAULT_CHUNK_ROWS = 8192``) tuned on one machine.  This module
+replaces them with a one-time per-host microbenchmark that measures the
+three constants the dispatch decision actually depends on:
+
+* ``kernel_ns_row`` — what one row costs in the serial fast kernels
+  (the work parallelism would divide by the worker count);
+* ``pickle_ns_row`` — what one row costs crossing the pool on the
+  legacy pickled-chunk protocol, both directions;
+* ``plane_ns_row`` — what one row costs on the shared-memory data
+  plane (:mod:`repro.parallel.shm`): permutation/code array packing in
+  the worker plus lazy materialization in the driver.
+
+The result is cached as JSON under the spill directory (the system
+temp dir by default), keyed by host and Python version, so the
+microbenchmark runs once per host, not once per process.  Derived
+defaults:
+
+* :meth:`Calibration.min_parallel_rows` — the break-even input size
+  for ``n`` workers: the row count where the per-row parallel win
+  (``kernel_ns_row * (1 - 1/n)``) starts covering the per-row data
+  plane cost plus pool startup.  Below it, ``workers="auto"`` stays
+  serial.
+* :meth:`Calibration.chunk_rows` — result-chunk granularity sized to
+  ~4 ms of kernel work per chunk (clamped to a power of two), so
+  streaming latency tracks compute speed instead of a constant.
+
+Measured values are logged through :mod:`repro.obs` (gauges
+``calibrate.*``) whenever the metrics registry is enabled.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import platform
+import tempfile
+import time
+from array import array
+from dataclasses import asdict, dataclass
+
+from ..obs import METRICS, TRACER
+
+#: Fallback constants, used when measurement is impossible (and as the
+#: seed values the microbenchmark overwrites).  The startup charge is a
+#: fixed estimate: fork + queue setup + first-task latency per worker.
+DEFAULT_KERNEL_NS_ROW = 1200.0
+DEFAULT_PICKLE_NS_ROW = 3000.0
+DEFAULT_PLANE_NS_ROW = 400.0
+STARTUP_S_PER_WORKER = 0.008
+
+#: Target kernel time per result chunk (seconds) for chunk sizing.
+_CHUNK_TARGET_S = 0.004
+
+#: Rows in the calibration workload — large enough to amortize per-call
+#: setup, small enough to finish in tens of milliseconds.
+_SAMPLE_ROWS = 4096
+
+_MEMO: "Calibration | None" = None
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Measured per-host cost constants (nanoseconds per row)."""
+
+    kernel_ns_row: float
+    pickle_ns_row: float
+    plane_ns_row: float
+    startup_s: float = STARTUP_S_PER_WORKER
+    source: str = "default"
+
+    def min_parallel_rows(self, n_workers: int) -> int:
+        """Break-even input size for ``n_workers`` (rows).
+
+        Serial cost ``n * kernel`` meets parallel cost
+        ``startup * workers + n * plane + n * kernel / workers`` at
+        ``n = startup * workers / (kernel * (1 - 1/workers) - plane)``.
+        A non-positive denominator means the data plane costs more per
+        row than parallelism saves — parallel never wins, so the
+        threshold is effectively infinite.
+        """
+        if n_workers < 2:
+            return 1 << 62
+        saved = self.kernel_ns_row * (1.0 - 1.0 / n_workers) - self.plane_ns_row
+        if saved <= 0:
+            return 1 << 62
+        rows = (self.startup_s * n_workers * 1e9) / saved
+        return max(4096, min(1 << 20, int(rows)))
+
+    def chunk_rows(self) -> int:
+        """Result-chunk rows worth ~4 ms of kernel time (power of two)."""
+        rows = _CHUNK_TARGET_S * 1e9 / max(self.kernel_ns_row, 1.0)
+        size = 1024
+        while size * 2 <= rows and size < 65536:
+            size *= 2
+        return size
+
+
+def _cache_path(spill_dir: str | None) -> str:
+    host = platform.node() or "host"
+    tag = "".join(ch if ch.isalnum() or ch in "-._" else "-" for ch in host)
+    name = (
+        f"repro-calibration-{tag}-py"
+        f"{platform.python_version_tuple()[0]}.{platform.python_version_tuple()[1]}.json"
+    )
+    return os.path.join(spill_dir or tempfile.gettempdir(), name)
+
+
+def _sample_table():
+    """A small Figure 11 slice: the shape the parallel subsystem targets."""
+    from ..workloads.generators import fig11_output_spec, fig11_table
+
+    return fig11_table(_SAMPLE_ROWS, 64, seed=0), fig11_output_spec(8)
+
+
+def _best(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure() -> Calibration:
+    """Run the microbenchmark; returns measured constants."""
+    from ..core.analysis import analyze_order_modification
+    from ..fastpath.execute import fast_modify
+
+    table, spec = _sample_table()
+    n = len(table.rows)
+    plan = analyze_order_modification(table.sort_spec, spec)
+
+    kernel_s = _best(
+        lambda: fast_modify(table, spec, plan, plan.strategy)
+    )
+
+    payload = (table.rows, table.ovcs)
+
+    def pickle_round_trip():
+        pickle.loads(pickle.dumps(payload, pickle.HIGHEST_PROTOCOL))
+
+    # Both directions cross the queue, and the pipe roughly doubles the
+    # raw (de)serialization cost — measured on the bench workloads.
+    pickle_s = _best(pickle_round_trip) * 2.0 * 2.0
+
+    perm = list(range(n))
+    codes = table.ovcs
+
+    def plane_round_trip():
+        # Worker side: flat perm/offset/value arrays; driver side:
+        # permutation materialization plus code re-zipping.
+        perm_arr = array("q", perm)
+        offs = array("q", [o for o, _ in codes])
+        vals = array("q", [v for _, v in codes])
+        rows = table.rows
+        list(map(rows.__getitem__, perm_arr))
+        list(zip(offs, vals))
+
+    plane_s = _best(plane_round_trip)
+
+    cal = Calibration(
+        kernel_ns_row=max(1.0, kernel_s * 1e9 / n),
+        pickle_ns_row=max(1.0, pickle_s * 1e9 / n),
+        plane_ns_row=max(1.0, plane_s * 1e9 / n),
+        startup_s=STARTUP_S_PER_WORKER,
+        source="measured",
+    )
+    return cal
+
+
+def _log(cal: Calibration) -> None:
+    if METRICS.enabled:
+        METRICS.gauge("calibrate.kernel_ns_row").set(cal.kernel_ns_row)
+        METRICS.gauge("calibrate.pickle_ns_row").set(cal.pickle_ns_row)
+        METRICS.gauge("calibrate.plane_ns_row").set(cal.plane_ns_row)
+        METRICS.gauge("calibrate.min_parallel_rows_w2").set(
+            cal.min_parallel_rows(2)
+        )
+        METRICS.gauge("calibrate.chunk_rows").set(cal.chunk_rows())
+
+
+def get(spill_dir: str | None = None, refresh: bool = False) -> Calibration:
+    """The host's calibration: memoized, disk-cached, else measured.
+
+    The first call per host runs the microbenchmark (tens of
+    milliseconds) and writes the JSON cache; later processes load it.
+    ``refresh`` forces a re-measurement.  Failures never propagate —
+    the documented default constants stand in.
+    """
+    global _MEMO
+    if _MEMO is not None and not refresh:
+        return _MEMO
+    path = _cache_path(spill_dir)
+    if not refresh:
+        try:
+            with open(path) as fh:
+                raw = json.load(fh)
+            cal = Calibration(
+                kernel_ns_row=float(raw["kernel_ns_row"]),
+                pickle_ns_row=float(raw["pickle_ns_row"]),
+                plane_ns_row=float(raw["plane_ns_row"]),
+                startup_s=float(raw.get("startup_s", STARTUP_S_PER_WORKER)),
+                source="cache",
+            )
+            _MEMO = cal
+            _log(cal)
+            return cal
+        except (OSError, ValueError, KeyError, TypeError):
+            pass
+    try:
+        with TRACER.span("calibrate.measure"):
+            cal = measure()
+    except Exception:  # pragma: no cover - measurement is best-effort
+        cal = Calibration(
+            DEFAULT_KERNEL_NS_ROW,
+            DEFAULT_PICKLE_NS_ROW,
+            DEFAULT_PLANE_NS_ROW,
+        )
+    else:
+        try:
+            payload = asdict(cal)
+            payload["host"] = platform.node()
+            payload["python"] = platform.python_version()
+            tmp = f"{path}.{os.getpid()}.tmp"
+            with open(tmp, "w") as fh:
+                json.dump(payload, fh, indent=2)
+            os.replace(tmp, path)
+        except OSError:  # pragma: no cover - cache dir not writable
+            pass
+    _MEMO = cal
+    _log(cal)
+    return cal
+
+
+def reset_memo() -> None:
+    """Drop the in-process memo (tests re-point the cache directory)."""
+    global _MEMO
+    _MEMO = None

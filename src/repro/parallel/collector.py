@@ -27,8 +27,32 @@ from __future__ import annotations
 
 from ..exec import memory
 from ..ovc.stats import ComparisonStats
+from .shm import PlaneSlice
 
 Chunk = tuple[list[tuple], list[tuple]]
+
+
+def _chunk_nbytes(rows, ovcs) -> int:
+    """Accounting size of one buffered chunk.
+
+    A data-plane chunk is a :class:`PlaneSlice` descriptor — a fixed
+    few words, not row storage (the rows live in shared memory until
+    materialization).
+    """
+    if isinstance(rows, PlaneSlice):
+        return PlaneSlice.NBYTES
+    return memory.rows_nbytes(rows, ovcs)
+
+
+def _emit(rows, ovcs) -> Chunk:
+    """Resolve a chunk for downstream consumption.
+
+    Plane slices materialize here — at the emission frontier, in global
+    order — so rows are copied exactly once and never buffered.
+    """
+    if isinstance(rows, PlaneSlice):
+        return rows.materialize()
+    return rows, ovcs
 
 
 class ShardError(RuntimeError):
@@ -82,12 +106,10 @@ class OrderedCollector:
             )
             accountant = memory.current()
             if accountant is not None:
-                accountant.charge(
-                    "pool.reorder", memory.rows_nbytes(rows, ovcs)
-                )
+                accountant.charge("pool.reorder", _chunk_nbytes(rows, ovcs))
             return []
 
-        ready: list[Chunk] = [(rows, ovcs)]
+        ready: list[Chunk] = [_emit(rows, ovcs)]
         self._advance(seq, last)
         self._drain(ready)
         return ready
@@ -112,10 +134,8 @@ class OrderedCollector:
             self.buffered_rows -= len(rows)
             accountant = memory.current()
             if accountant is not None:
-                accountant.release(
-                    "pool.reorder", memory.rows_nbytes(rows, ovcs)
-                )
-            ready.append((rows, ovcs))
+                accountant.release("pool.reorder", _chunk_nbytes(rows, ovcs))
+            ready.append(_emit(rows, ovcs))
             last = self._last_seq.get(self._next_shard) == self._next_seq
             self._advance(self._next_seq, last)
 

@@ -37,12 +37,17 @@ from ..core.analysis import ModificationPlan, Strategy
 from ..core.classify import split_segments
 from ..core.cost import _nlogk, sort_comparisons
 
-#: Inputs below this row count always run serially ("auto" threshold).
-#: Measured on the bench workloads: a worker pool costs a few
-#: milliseconds of startup plus ~1 us/row of pickling, which a serial
-#: in-memory modification undercuts comfortably below ~8k rows.
-#: Override with ``REPRO_PARALLEL_MIN_ROWS`` for experiments.
-MIN_PARALLEL_ROWS = int(os.environ.get("REPRO_PARALLEL_MIN_ROWS", 8192))
+#: Forced serial threshold: inputs below this row count never shard.
+#: ``None`` (the default) derives the threshold from the per-host
+#: calibration (:meth:`repro.parallel.calibrate.Calibration.
+#: min_parallel_rows`) — the measured break-even input size where the
+#: multi-core win starts covering pool startup and data-plane cost.
+#: Set ``REPRO_PARALLEL_MIN_ROWS`` (or assign here) to pin a constant
+#: for experiments.
+_min_rows_env = os.environ.get("REPRO_PARALLEL_MIN_ROWS")
+MIN_PARALLEL_ROWS: int | None = (
+    int(_min_rows_env) if _min_rows_env is not None else None
+)
 
 #: Target shard count per worker — slack for dynamic load balancing.
 SHARDS_PER_WORKER = 4
@@ -120,6 +125,10 @@ def plan_shards(
     """
     if min_rows is None:
         min_rows = MIN_PARALLEL_ROWS
+    if min_rows is None:
+        from . import calibrate
+
+        min_rows = calibrate.get().min_parallel_rows(max(n_workers, 2))
     if n_workers < 2:
         return ShardPlan.serial("fewer than two workers")
     if strategy not in SHARDABLE_STRATEGIES:

@@ -53,10 +53,27 @@ from typing import Iterable, Iterator
 from ..exec import memory
 from ..exec.config import RetryPolicy
 from ..obs import METRICS, TRACER
+from . import calibrate
 from .collector import Chunk, OrderedCollector, ShardError
-from .worker import ShardContext, execute_shard, worker_main
+from .shm import PlaneBuffers, PlaneSlice
+from .worker import (
+    ShardContext,
+    clear_plane_input,
+    execute_shard,
+    plane_worker_main,
+    set_plane_input,
+    worker_main,
+)
 
+#: Fallback result-chunk size when calibration is unavailable; the
+#: executor normally derives the chunk size from the host calibration
+#: (:meth:`repro.parallel.calibrate.Calibration.chunk_rows`).
 DEFAULT_CHUNK_ROWS = 8192
+
+#: Accounting estimate for one data-plane message crossing the queue:
+#: a descriptor result (a tuple of small ints) or a range task.
+_DESCRIPTOR_NBYTES = 128
+_TASK_NBYTES = 64
 
 #: Result-queue poll interval while idle: the cadence of liveness and
 #: deadline checks.  Short enough that a crashed worker is noticed
@@ -65,26 +82,44 @@ POLL_INTERVAL_S = 0.2
 
 
 class _ShardState:
-    """Driver-side supervision record for one dispatched shard."""
+    """Driver-side supervision record for one dispatched shard.
+
+    Legacy-protocol shards carry their payload (``rows``/``ovcs``);
+    data-plane shards carry only the global range ``[lo, hi)`` — the
+    payload lives in the fork-inherited input.
+    """
 
     __slots__ = (
-        "rows", "ovcs", "attempt", "pid", "deadline",
+        "rows", "ovcs", "lo", "hi", "attempt", "pid", "deadline",
         "held", "held_rows", "held_bytes", "failures",
     )
 
-    def __init__(self, rows: list[tuple], ovcs: list[tuple]) -> None:
+    def __init__(
+        self,
+        rows: list[tuple] | None,
+        ovcs: list[tuple] | None,
+        lo: int = 0,
+        hi: int = 0,
+    ) -> None:
         self.rows = rows
         self.ovcs = ovcs
+        self.lo = lo
+        self.hi = hi
         self.attempt = 0
         self.pid: int | None = None
         self.deadline: float | None = None
-        #: ``(seq, rows, ovcs, last, counters, telemetry)`` awaiting
-        #: validation — released to the collector only once the final
-        #: chunk arrives and the row count checks out.
+        #: ``(seq, ...)`` chunk records awaiting validation — released
+        #: to the collector only once the final chunk arrives and the
+        #: row count checks out.
         self.held: list[tuple] = []
         self.held_rows = 0
         self.held_bytes = 0
         self.failures = 0
+
+    @property
+    def n_rows(self) -> int:
+        """Rows this shard must return (order modification preserves it)."""
+        return len(self.rows) if self.rows is not None else self.hi - self.lo
 
 
 class ShardExecutor:
@@ -103,7 +138,7 @@ class ShardExecutor:
         self,
         ctx: ShardContext,
         n_workers: int,
-        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+        chunk_rows: int | None = None,
         max_inflight: int | None = None,
         start_method: str | None = None,
         retry_policy: RetryPolicy | None = None,
@@ -112,6 +147,10 @@ class ShardExecutor:
             raise ValueError("need at least one worker")
         self._ctx = ctx
         self._n_workers = n_workers
+        if chunk_rows is None:
+            # Calibration-derived default: ~4 ms of kernel work per
+            # chunk on this host (DEFAULT_CHUNK_ROWS if unmeasurable).
+            chunk_rows = calibrate.get().chunk_rows()
         self._chunk_rows = max(1, chunk_rows)
         self._max_inflight = (
             max_inflight if max_inflight is not None else 2 * n_workers
@@ -139,10 +178,31 @@ class ShardExecutor:
         self.retried_shards = 0
         #: Shards that exhausted retries and ran serially in the driver.
         self.degraded_shards = 0
+        #: Per-phase accounting for the whole job: worker compute time,
+        #: pack time (array builds + shm writes + driver materialize),
+        #: residual IPC/coordination time, and estimated bytes that
+        #: crossed the queues.  ``ipc_bytes`` is tallied only while the
+        #: metrics registry is enabled (sizing rows is O(n)).
+        self.phases = {
+            "pack_s": 0.0,
+            "compute_s": 0.0,
+            "ipc_s": 0.0,
+            "ipc_bytes": 0,
+            "shm_bytes": 0,
+        }
+        #: Data-plane state, set only inside :meth:`run_plane`.
+        self._plane: PlaneBuffers | None = None
+        self._plane_rows: list | None = None
+        self._plane_ovcs: list | None = None
+
+    @property
+    def start_method(self) -> str:
+        """The resolved multiprocessing start method for this pool."""
+        return self._mp.get_start_method()
 
     def _spawn_worker(self) -> None:
         proc = self._mp.Process(
-            target=worker_main,
+            target=plane_worker_main if self._plane is not None else worker_main,
             args=(self._ctx, self._tasks, self._results, self._chunk_rows),
             daemon=True,
         )
@@ -178,6 +238,7 @@ class ShardExecutor:
         #: shard -> _ShardState for every dispatched-but-unfinished shard.
         states: dict[int, _ShardState] = {}
         metrics_on = METRICS.enabled
+        t_job = time.perf_counter()
         try:
             while True:
                 while (
@@ -192,6 +253,8 @@ class ShardExecutor:
                         break
                     states[dispatched] = _ShardState(rows, ovcs)
                     tasks.put((dispatched, 0, rows, ovcs))
+                    if metrics_on:
+                        self.phases["ipc_bytes"] += memory.rows_nbytes(rows, ovcs)
                     dispatched += 1
                 if exhausted and collector.emitted_shards >= dispatched:
                     break
@@ -227,6 +290,98 @@ class ShardExecutor:
             results.close()
             tasks.close()
             self._tasks = self._results = None
+            self._finish_phases(metrics_on, t_job)
+
+    def run_plane(
+        self,
+        rows: list[tuple],
+        ovcs: list[tuple],
+        ranges: Iterable[tuple[int, int]],
+    ) -> Iterator[Chunk]:
+        """Run global row ranges over the shared-memory data plane.
+
+        ``rows``/``ovcs`` are the *whole* input; ``ranges`` are the
+        shards' ``[lo, hi)`` bounds in global row order.  The input
+        reaches the workers through fork copy-on-write inheritance
+        (published via :func:`~repro.parallel.worker.set_plane_input`
+        immediately before the pool forks), results come back as flat
+        permutation/code words in one shared-memory block, and only
+        range tasks and chunk descriptors cross the queues.  Yields the
+        same ordered ``(rows, ovcs)`` chunks as :meth:`run`, with rows
+        materialized lazily at the emission frontier.
+
+        Requires the ``fork`` start method — under ``spawn`` the module
+        globals never reach the child, so callers must use :meth:`run`.
+        """
+        if self._mp.get_start_method() != "fork":
+            raise ValueError(
+                "the shared-memory data plane requires the fork start method"
+            )
+        shards = list(ranges)
+        collector = OrderedCollector()
+        states: dict[int, _ShardState] = {}
+        metrics_on = METRICS.enabled
+        t_job = time.perf_counter()
+        t0 = time.perf_counter()
+        buffers = PlaneBuffers(len(rows))
+        self._plane = buffers
+        self._plane_rows = rows
+        self._plane_ovcs = ovcs
+        set_plane_input(rows, ovcs, buffers)
+        self.phases["shm_bytes"] = buffers.nbytes
+        try:
+            tasks, results = self._start()  # forks: workers inherit input
+            self.phases["pack_s"] += time.perf_counter() - t0
+            # Range tasks are ~a hundred bytes each: feed them all
+            # upfront; the in-flight cap exists to bound payload memory,
+            # which the plane holds exactly once regardless.
+            for index, (lo, hi) in enumerate(shards):
+                states[index] = _ShardState(None, None, lo, hi)
+                tasks.put((index, 0, lo, hi))
+                if metrics_on:
+                    self.phases["ipc_bytes"] += _TASK_NBYTES
+            try:
+                while collector.emitted_shards < len(shards):
+                    if metrics_on:
+                        METRICS.gauge("pool.inflight_shards").set(
+                            len(shards) - collector.emitted_shards
+                        )
+                    try:
+                        message = results.get(timeout=self._poll_timeout(states))
+                    except queue.Empty:
+                        yield from self._reap(states, tasks, collector)
+                        continue
+                    yield from self._handle(message, states, tasks, collector)
+            finally:
+                self.stats = collector.stats
+                self.peak_buffered_rows = collector.peak_buffered_rows
+                self.telemetry = collector.telemetry_in_shard_order()
+                if metrics_on:
+                    METRICS.gauge("pool.reorder_buffered_rows").set(
+                        collector.peak_buffered_rows
+                    )
+                self._shutdown(tasks)
+                results.close()
+                tasks.close()
+                self._tasks = self._results = None
+        finally:
+            clear_plane_input()
+            self._plane = None
+            self._plane_rows = None
+            self._plane_ovcs = None
+            buffers.destroy()
+            self._finish_phases(metrics_on, t_job)
+
+    def _finish_phases(self, metrics_on: bool, t_job: float) -> None:
+        """Close the job's phase ledger and publish the counters."""
+        ph = self.phases
+        elapsed = time.perf_counter() - t_job
+        ph["ipc_s"] = max(0.0, elapsed - ph["pack_s"] - ph["compute_s"])
+        if metrics_on:
+            METRICS.counter("pool.pack_seconds").inc(ph["pack_s"])
+            METRICS.counter("pool.compute_seconds").inc(ph["compute_s"])
+            METRICS.counter("pool.ipc_seconds").inc(ph["ipc_s"])
+            METRICS.counter("pool.ipc_bytes").inc(ph["ipc_bytes"])
 
     # ------------------------------------------------------- supervision
 
@@ -261,12 +416,22 @@ class ShardExecutor:
             if st is None or st.attempt != attempt:
                 return []
             return self._fail(shard, st, states, tasks, collector, tb)
-        _, shard, attempt, seq, rows, ovcs, last, counters, telemetry = message
+        if kind == "planechunk":
+            return self._handle_planechunk(message, states, tasks, collector)
+        (
+            _, shard, attempt, seq, rows, ovcs, last, counters, telemetry,
+            timings,
+        ) = message
         st = states.get(shard)
         if st is None or st.attempt != attempt:
             return []  # straggler from an abandoned attempt
         st.held.append((seq, rows, ovcs, last, counters, telemetry))
         st.held_rows += len(rows)
+        if timings is not None:
+            self.phases["pack_s"] += timings.get("pack_s", 0.0)
+            self.phases["compute_s"] += timings.get("compute_s", 0.0)
+        if METRICS.enabled:
+            self.phases["ipc_bytes"] += memory.rows_nbytes(rows, ovcs)
         accountant = memory.current()
         if accountant is not None:
             n_bytes = memory.rows_nbytes(rows, ovcs)
@@ -274,11 +439,11 @@ class ShardExecutor:
             accountant.charge("pool.reorder", n_bytes)
         if not last:
             return []
-        if st.held_rows != len(st.rows):
+        if st.held_rows != st.n_rows:
             return self._fail(
                 shard, st, states, tasks, collector,
                 f"row-count mismatch: shard {shard} returned {st.held_rows} "
-                f"rows for a {len(st.rows)}-row payload",
+                f"rows for a {st.n_rows}-row payload",
             )
         # Validated: release the attempt's chunks to the collector in
         # sequence order (they arrive ordered from one worker, but a
@@ -289,6 +454,70 @@ class ShardExecutor:
             ready.extend(
                 collector.add(
                     ("chunk", shard, seq, rows, ovcs, last, counters, telemetry)
+                )
+            )
+        self._release_state(shard, st, states)
+        return ready
+
+    def _handle_planechunk(
+        self,
+        message: tuple,
+        states: dict[int, _ShardState],
+        tasks,
+        collector: OrderedCollector,
+    ) -> list[Chunk]:
+        """Validate one data-plane descriptor; release the shard when done.
+
+        The descriptor carries no data — only the global range and a
+        CRC32 of the region bytes the worker just wrote.  The driver
+        re-hashes the range before trusting it, the same role the
+        row-count check plays for pickled chunks (a torn or partial
+        write fails the CRC and the shard retries).
+        """
+        (
+            _, shard, attempt, seq, start, stop, crc, last, counters,
+            telemetry, timings,
+        ) = message
+        st = states.get(shard)
+        if st is None or st.attempt != attempt:
+            return []  # straggler from an abandoned attempt
+        if timings is not None:
+            self.phases["pack_s"] += timings.get("pack_s", 0.0)
+            self.phases["compute_s"] += timings.get("compute_s", 0.0)
+        if METRICS.enabled:
+            self.phases["ipc_bytes"] += _DESCRIPTOR_NBYTES
+        if self._plane.checksum(start, stop) != crc:
+            return self._fail(
+                shard, st, states, tasks, collector,
+                f"checksum mismatch on shard {shard} range [{start}, {stop})",
+            )
+        st.held.append((seq, start, stop, last, counters, telemetry))
+        st.held_rows += stop - start
+        accountant = memory.current()
+        if accountant is not None:
+            st.held_bytes += PlaneSlice.NBYTES
+            accountant.charge("pool.reorder", PlaneSlice.NBYTES)
+        if not last:
+            return []
+        held = sorted(st.held)
+        contiguous = all(
+            rec[1] == (held[i - 1][2] if i else st.lo)
+            for i, rec in enumerate(held)
+        )
+        if st.held_rows != st.n_rows or not contiguous or held[-1][2] != st.hi:
+            return self._fail(
+                shard, st, states, tasks, collector,
+                f"range mismatch: shard {shard} covered {st.held_rows} rows "
+                f"of [{st.lo}, {st.hi})",
+            )
+        ready: list[Chunk] = []
+        for seq, start, stop, last, counters, telemetry in held:
+            chunk = PlaneSlice(
+                self._plane, self._plane_rows, start, stop, self.phases
+            )
+            ready.extend(
+                collector.add(
+                    ("chunk", shard, seq, chunk, None, last, counters, telemetry)
                 )
             )
         self._release_state(shard, st, states)
@@ -360,6 +589,7 @@ class ShardExecutor:
         st.pid = None
         st.deadline = None
         st.failures += 1
+        plane = st.rows is None
         if st.failures <= self._retry.retries:
             st.attempt += 1
             self.retried_shards += 1
@@ -371,7 +601,14 @@ class ShardExecutor:
                 attempt=st.attempt,
                 reason=reason.splitlines()[0][:200],
             ):
-                tasks.put((shard, st.attempt, st.rows, st.ovcs))
+                if plane:
+                    # Identity placement makes the retry self-cleaning:
+                    # the new attempt overwrites the same [lo, hi)
+                    # region, and stale descriptors are dropped by
+                    # attempt number before anything reads it.
+                    tasks.put((shard, st.attempt, st.lo, st.hi))
+                else:
+                    tasks.put((shard, st.attempt, st.rows, st.ovcs))
             return []
         # Quarantine: the shard failed every pooled attempt.  Execute it
         # serially in the driver — outside the workers, where injected
@@ -380,16 +617,20 @@ class ShardExecutor:
         self.degraded_shards += 1
         if METRICS.enabled:
             METRICS.counter("pool.shard_degraded").inc()
+        in_rows = self._plane_rows[st.lo : st.hi] if plane else st.rows
+        in_ovcs = self._plane_ovcs[st.lo : st.hi] if plane else st.ovcs
         with TRACER.span(
             "pool.shard_degraded",
             shard=shard,
-            rows=len(st.rows),
+            rows=st.n_rows,
             reason=reason.splitlines()[0][:200],
         ):
             try:
+                t0 = time.perf_counter()
                 out_rows, out_ovcs, counters = execute_shard(
-                    st.rows, st.ovcs, self._ctx
+                    in_rows, in_ovcs, self._ctx
                 )
+                self.phases["compute_s"] += time.perf_counter() - t0
             except BaseException:
                 raise ShardError(shard, traceback.format_exc()) from None
         n = len(out_rows)

@@ -1,0 +1,193 @@
+"""Shared-memory data plane: flat result buffers + tiny descriptors.
+
+The legacy pool protocol ships every shard's rows and codes across
+``multiprocessing.Queue`` as pickled Python lists — twice (payload out,
+result back).  Measured on the bench workloads that is ~4x the cost of
+the modification itself.  The data plane removes the bulk bytes from
+the queue entirely:
+
+* **Input** is zero-copy by construction: the pool forks its workers
+  *after* the driver holds the full ``rows``/``ovcs`` lists, so every
+  worker inherits them through copy-on-write memory.  A task is just
+  ``(shard, attempt, lo, hi)``.
+* **Output** is a permutation, not rows.  Order modification never
+  creates rows — every output row *is* an input row — so a worker only
+  needs to report, per output position, which global input row lands
+  there, plus the recomputed offset-value code.  Three flat signed
+  64-bit regions in one named :class:`multiprocessing.shared_memory`
+  block hold exactly that: ``perm`` (global row indices), ``off`` and
+  ``val`` (paper-form codes, split into columns).  Shards cover
+  ``[lo, hi)`` and write their output at the same global offsets
+  (modification preserves per-segment row counts), so the regions
+  need no allocator and retries simply overwrite.
+* **Descriptors** — ``("chunkref", shard, attempt, seq, start, stop,
+  checksum, ...)`` — are all that crosses the queue.  The driver
+  verifies each chunk's CRC32 against the region bytes before
+  accepting it, and the ordered collector materializes rows lazily, in
+  global order, with ``rows[perm[i]]``.
+
+The block is charged to the active :class:`~repro.exec.memory.
+MemoryAccountant` under ``"pool.shm"`` and unlinked in the executor's
+``finally`` — normal completion, worker crash, hang, and quarantine all
+release it.  :func:`plane_segment_names` enumerates live ``/dev/shm``
+segments so tests can assert nothing leaks.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import time
+import zlib
+from array import array
+from multiprocessing import shared_memory
+
+from ..exec import memory
+from ..obs import METRICS
+
+#: Name prefix of every data-plane segment (leak checks key on it).
+PLANE_PREFIX = "repro-plane-"
+
+_WORD = 8  # array('q') item size: one signed 64-bit word
+
+
+def plane_segment_names() -> set[str]:
+    """Names of live data-plane segments on this host (POSIX shm)."""
+    root = "/dev/shm"
+    try:
+        entries = os.listdir(root)
+    except OSError:  # pragma: no cover - non-POSIX shm layout
+        return set()
+    return {name for name in entries if name.startswith(PLANE_PREFIX)}
+
+
+class PlaneBuffers:
+    """One job's output regions: ``perm``/``off``/``val``, each ``n`` words.
+
+    Created by the driver before the pool forks; workers inherit the
+    open mapping (no attach syscall, no second copy).  All three views
+    are ``array('q')``-compatible memoryviews over one named block.
+    """
+
+    def __init__(self, n_rows: int) -> None:
+        self.n_rows = n_rows
+        self.nbytes = max(1, 3 * n_rows * _WORD)
+        self.name = f"{PLANE_PREFIX}{os.getpid()}-{secrets.token_hex(4)}"
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=self.nbytes, name=self.name
+        )
+        buf = memoryview(self._shm.buf)
+        self._views = [
+            buf[0 : n_rows * _WORD].cast("q"),
+            buf[n_rows * _WORD : 2 * n_rows * _WORD].cast("q"),
+            buf[2 * n_rows * _WORD : 3 * n_rows * _WORD].cast("q"),
+            buf,
+        ]
+        self.perm, self.off, self.val = self._views[:3]
+        self._charged = 0
+        accountant = memory.current()
+        if accountant is not None:
+            accountant.charge("pool.shm", self.nbytes)
+            self._charged = self.nbytes
+        if METRICS.enabled:
+            METRICS.counter("pool.shm_blocks").inc()
+            METRICS.counter("pool.shm_bytes").inc(self.nbytes)
+
+    # ------------------------------------------------------ worker side
+
+    def write(
+        self,
+        start: int,
+        stop: int,
+        perm: array,
+        off: array,
+        val: array,
+        base: int,
+    ) -> int:
+        """Write one chunk's words at global ``[start, stop)``; return CRC.
+
+        ``perm``/``off``/``val`` are the shard's full output arrays;
+        ``base`` is the shard's global ``lo``, so the chunk's slice is
+        ``[start - base, stop - base)`` of each array.
+        """
+        a, b = start - base, stop - base
+        self.perm[start:stop] = perm[a:b]
+        self.off[start:stop] = off[a:b]
+        self.val[start:stop] = val[a:b]
+        return self.checksum(start, stop)
+
+    # ------------------------------------------------------ driver side
+
+    def checksum(self, start: int, stop: int) -> int:
+        """CRC32 over the three regions' bytes for ``[start, stop)``."""
+        crc = zlib.crc32(self.perm[start:stop])
+        crc = zlib.crc32(self.off[start:stop], crc)
+        return zlib.crc32(self.val[start:stop], crc)
+
+    def destroy(self) -> None:
+        """Release views, close the mapping, unlink the segment."""
+        for view in self._views:
+            view.release()
+        self._views = []
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+        if self._charged:
+            accountant = memory.current()
+            if accountant is not None:
+                accountant.release("pool.shm", self._charged)
+            self._charged = 0
+
+    def close(self) -> None:
+        """Worker-side teardown: drop views and the mapping, keep the
+        segment (the driver owns the unlink)."""
+        for view in self._views:
+            view.release()
+        self._views = []
+        self._shm.close()
+
+
+class PlaneSlice:
+    """A lazily-materialized output chunk: global ``[start, stop)``.
+
+    Stands in for a ``(rows, ovcs)`` chunk inside the ordered
+    collector; :meth:`materialize` resolves the permutation against the
+    driver's own row objects the moment the chunk is next in global
+    order.  Buffered slices cost a fixed few bytes, not row storage —
+    the reorder buffer holds descriptors, never rows.
+    """
+
+    __slots__ = ("buffers", "src_rows", "start", "stop", "phases")
+
+    #: Approximate driver-side footprint of one buffered slice (bytes).
+    NBYTES = 96
+
+    def __init__(
+        self,
+        buffers: PlaneBuffers,
+        src_rows: list,
+        start: int,
+        stop: int,
+        phases: dict | None = None,
+    ) -> None:
+        self.buffers = buffers
+        self.src_rows = src_rows
+        self.start = start
+        self.stop = stop
+        self.phases = phases
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    def materialize(self) -> tuple[list, list]:
+        """Resolve to ``(rows, ovcs)`` — the only full-size copy made."""
+        t0 = time.perf_counter()
+        lo, hi = self.start, self.stop
+        buffers = self.buffers
+        rows = list(map(self.src_rows.__getitem__, buffers.perm[lo:hi]))
+        ovcs = list(zip(buffers.off[lo:hi], buffers.val[lo:hi]))
+        if self.phases is not None:
+            self.phases["pack_s"] += time.perf_counter() - t0
+        return rows, ovcs

@@ -28,7 +28,9 @@ reaches ``spawn`` workers as reliably as ``fork`` ones.
 from __future__ import annotations
 
 import os
+import time
 import traceback
+from array import array
 from dataclasses import dataclass, field
 
 from ..core.analysis import ModificationPlan, Strategy
@@ -39,6 +41,23 @@ from ..exec.faults import Fault, corrupt_output, fire
 from ..model import Schema, SortSpec, Table
 from ..ovc.stats import ComparisonStats
 from ..sorting.merge import _key_projector
+
+#: Fork-inherited data-plane input: ``(rows, ovcs, PlaneBuffers)``.
+#: The driver publishes it immediately before forking the pool; plane
+#: workers read it instead of receiving payloads over the task queue.
+#: Meaningless (and unset) under the ``spawn`` start method — the
+#: executor only selects the plane when it forks.
+_PLANE_INPUT = None
+
+
+def set_plane_input(rows, ovcs, buffers) -> None:
+    global _PLANE_INPUT
+    _PLANE_INPUT = (rows, ovcs, buffers)
+
+
+def clear_plane_input() -> None:
+    global _PLANE_INPUT
+    _PLANE_INPUT = None
 
 
 @dataclass(frozen=True)
@@ -116,18 +135,200 @@ def execute_shard(
     return out_rows, out_ovcs, counters
 
 
+def execute_shard_perm(
+    rows: list[tuple],
+    ovcs: list[tuple],
+    lo: int,
+    hi: int,
+    ctx: ShardContext,
+) -> tuple[list[int], list[tuple], dict[str, int] | None]:
+    """Run rows ``[lo, hi)``; return ``(perm, out_ovcs, counters)``.
+
+    ``perm`` is shard-local: ``perm[i]`` indexes into ``rows[lo:hi]``
+    (the caller rebases by ``lo`` when writing global buffers).  The
+    fast kernels emit the permutation natively; the reference fallback
+    (non-packable key values) recovers it by object identity — every
+    output row *is* an input row object, so ``id`` maps it back to its
+    slot without comparing values.
+    """
+    sl_rows = rows[lo:hi]
+    sl_ovcs = ovcs[lo:hi]
+    if ctx.use_fast:
+        from ..fastpath.execute import fast_modify_perm
+
+        try:
+            perm, out_ovcs = fast_modify_perm(
+                ctx.schema, sl_rows, sl_ovcs, ctx.output_spec, ctx.plan,
+                ctx.strategy,
+            )
+            counters = ComparisonStats().as_dict() if ctx.collect_stats else None
+            return perm, out_ovcs, counters
+        except TypeError:
+            pass  # non-packable key values: reference fallback below
+    out_rows, out_ovcs, counters = execute_shard(sl_rows, sl_ovcs, ctx)
+    index_of = {id(row): i for i, row in enumerate(sl_rows)}
+    perm = [index_of[id(row)] for row in out_rows]
+    return perm, out_ovcs, counters
+
+
+def plane_worker_main(ctx, tasks, results, chunk_rows: int) -> None:
+    """Data-plane worker loop: inherited input, flat-buffer output.
+
+    Tasks are ``(index, attempt, lo, hi)`` row ranges into the
+    fork-inherited input (``set_plane_input``); a ``None`` task is the
+    shutdown signal.  Results are written into the inherited
+    :class:`~repro.parallel.shm.PlaneBuffers` at the same global
+    offsets and announced with ``("planechunk", index, attempt, seq,
+    start, stop, crc, last, counters, telemetry, timings)`` descriptors
+    — only these few words cross the queue.  Codes whose values do not
+    fit a machine word fall back to the legacy pickled ``("chunk",
+    ...)`` messages for that shard (rows materialized from the
+    permutation), so exotic key types keep exact fidelity.
+
+    Faults fire exactly as on the legacy path; ``corrupt`` truncates
+    the permutation and codes, which the driver's row-count validation
+    catches.
+    """
+    from ..fastpath.packed import pack_codes
+    from ..obs import METRICS, TRACER
+
+    if ctx.trace:
+        TRACER.enable(clear=True)
+    else:
+        TRACER.disable()
+        TRACER.reset()
+    if ctx.collect_metrics:
+        METRICS.enable(clear=True)
+    else:
+        METRICS.disable()
+        METRICS.reset()
+    pid = os.getpid()
+    rows, ovcs, buffers = _PLANE_INPUT
+
+    while True:
+        task = tasks.get()
+        if task is None:
+            break
+        index, attempt, lo, hi = task
+        results.put(("start", index, attempt, pid))
+        try:
+            corrupting = fire(ctx.faults, index, attempt)
+            t0 = time.perf_counter()
+            with TRACER.span("shard.execute", rows=hi - lo):
+                perm, out_ovcs, counters = execute_shard_perm(
+                    rows, ovcs, lo, hi, ctx
+                )
+            compute_s = time.perf_counter() - t0
+            if corrupting is not None:
+                perm, out_ovcs = corrupt_output(perm, out_ovcs)
+        except BaseException:
+            results.put(("error", index, attempt, traceback.format_exc()))
+            TRACER.reset()
+            METRICS.reset()
+            continue
+        telemetry = _drain_telemetry(ctx, pid, index)
+
+        t0 = time.perf_counter()
+        try:
+            off_arr, val_arr = pack_codes(out_ovcs)
+        except (TypeError, OverflowError):
+            # Code values beyond machine words: pickled-chunk fallback,
+            # materializing this shard's rows from the permutation.
+            out_rows = [rows[lo + i] for i in perm]
+            timings = {
+                "compute_s": compute_s,
+                "pack_s": time.perf_counter() - t0,
+            }
+            _ship_chunks(
+                results, index, attempt, out_rows, out_ovcs, chunk_rows,
+                counters, telemetry, timings,
+            )
+            continue
+        perm_arr = array("q", map(lo.__add__, perm))
+        pack_s = time.perf_counter() - t0
+
+        n = len(perm_arr)
+        n_chunks = max(1, -(-n // chunk_rows))
+        for seq in range(n_chunks):
+            a = seq * chunk_rows
+            b = min(n, a + chunk_rows)
+            last = seq == n_chunks - 1
+            t0 = time.perf_counter()
+            crc = buffers.write(lo + a, lo + b, perm_arr, off_arr, val_arr, lo)
+            pack_s += time.perf_counter() - t0
+            results.put(
+                (
+                    "planechunk",
+                    index,
+                    attempt,
+                    seq,
+                    lo + a,
+                    lo + b,
+                    crc,
+                    last,
+                    counters if last else None,
+                    telemetry if last else None,
+                    {"compute_s": compute_s, "pack_s": pack_s} if last else None,
+                )
+            )
+
+
+def _drain_telemetry(ctx, pid: int, index: int) -> dict | None:
+    """Collect and reset this shard's spans/metrics (if enabled)."""
+    from ..obs import METRICS, TRACER
+
+    if not (ctx.trace or ctx.collect_metrics):
+        return None
+    spans = TRACER.drain() if ctx.trace else []
+    for record in spans:
+        tags = record.setdefault("tags", {})
+        tags["worker"] = pid
+        tags["shard"] = index
+    metrics = METRICS.as_dict() if ctx.collect_metrics else None
+    METRICS.reset()  # each shard ships its own delta exactly once
+    return {"pid": pid, "shard": index, "spans": spans, "metrics": metrics}
+
+
+def _ship_chunks(
+    results, index, attempt, out_rows, out_ovcs, chunk_rows,
+    counters, telemetry, timings,
+) -> None:
+    """Ship one shard's output as legacy pickled ``("chunk", ...)``s."""
+    n = len(out_rows)
+    n_chunks = max(1, -(-n // chunk_rows))
+    for seq in range(n_chunks):
+        lo = seq * chunk_rows
+        hi = min(n, lo + chunk_rows)
+        last = seq == n_chunks - 1
+        results.put(
+            (
+                "chunk",
+                index,
+                attempt,
+                seq,
+                out_rows[lo:hi],
+                out_ovcs[lo:hi],
+                last,
+                counters if last else None,
+                telemetry if last else None,
+                timings if last else None,
+            )
+        )
+
+
 def worker_main(ctx, tasks, results, chunk_rows: int) -> None:
     """Worker process loop: pull shards, push chunked results.
 
     Tasks are ``(index, attempt, rows, ovcs)``; a ``None`` task is the
     shutdown signal.  The worker announces ``("start", index, attempt,
     pid)`` before executing, then ships ``("chunk", index, attempt,
-    seq, rows, ovcs, last, counters, telemetry)`` messages — output in
-    batches of ``chunk_rows`` rows to bound per-message pickle size —
-    or ``("error", index, attempt, traceback)``.  The per-shard
-    counters and the telemetry (``{"pid", "shard", "spans",
+    seq, rows, ovcs, last, counters, telemetry, timings)`` messages —
+    output in batches of ``chunk_rows`` rows to bound per-message
+    pickle size — or ``("error", index, attempt, traceback)``.  The
+    per-shard counters, the telemetry (``{"pid", "shard", "spans",
     "metrics"}``, recorded while ``ctx.trace`` /
-    ``ctx.collect_metrics``) ride on the final chunk only; every
+    ``ctx.collect_metrics``) and the phase timings (``{"compute_s",
+    "pack_s"}``) ride on the final chunk only; every
     shipped span is tagged with the worker pid and shard index so the
     collector can stitch one cross-process timeline.
 
@@ -161,8 +362,10 @@ def worker_main(ctx, tasks, results, chunk_rows: int) -> None:
         results.put(("start", index, attempt, pid))
         try:
             corrupting = fire(ctx.faults, index, attempt)
+            t0 = time.perf_counter()
             with TRACER.span("shard.execute", rows=len(rows)):
                 out_rows, out_ovcs, counters = execute_shard(rows, ovcs, ctx)
+            compute_s = time.perf_counter() - t0
             if corrupting is not None:
                 out_rows, out_ovcs = corrupt_output(out_rows, out_ovcs)
         except BaseException:
@@ -170,37 +373,8 @@ def worker_main(ctx, tasks, results, chunk_rows: int) -> None:
             TRACER.reset()
             METRICS.reset()
             continue
-        telemetry = None
-        if ctx.trace or ctx.collect_metrics:
-            spans = TRACER.drain() if ctx.trace else []
-            for record in spans:
-                tags = record.setdefault("tags", {})
-                tags["worker"] = pid
-                tags["shard"] = index
-            metrics = METRICS.as_dict() if ctx.collect_metrics else None
-            METRICS.reset()  # each shard ships its own delta exactly once
-            telemetry = {
-                "pid": pid,
-                "shard": index,
-                "spans": spans,
-                "metrics": metrics,
-            }
-        n = len(out_rows)
-        n_chunks = max(1, -(-n // chunk_rows))
-        for seq in range(n_chunks):
-            lo = seq * chunk_rows
-            hi = min(n, lo + chunk_rows)
-            last = seq == n_chunks - 1
-            results.put(
-                (
-                    "chunk",
-                    index,
-                    attempt,
-                    seq,
-                    out_rows[lo:hi],
-                    out_ovcs[lo:hi],
-                    last,
-                    counters if last else None,
-                    telemetry if last else None,
-                )
-            )
+        telemetry = _drain_telemetry(ctx, pid, index)
+        _ship_chunks(
+            results, index, attempt, out_rows, out_ovcs, chunk_rows,
+            counters, telemetry, {"compute_s": compute_s, "pack_s": 0.0},
+        )

@@ -1,0 +1,146 @@
+"""Per-host calibration: derived thresholds, cache round-trip, logging."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.obs import METRICS
+from repro.parallel import calibrate
+from repro.parallel.calibrate import Calibration
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    calibrate.reset_memo()
+    yield
+    calibrate.reset_memo()
+
+
+# ----------------------------------------------------------- derivations
+
+
+def test_break_even_formula():
+    cal = Calibration(
+        kernel_ns_row=2000.0, pickle_ns_row=6000.0, plane_ns_row=500.0,
+        startup_s=0.008,
+    )
+    # saved = 2000 * (1 - 1/2) - 500 = 500 ns/row;
+    # rows = 0.008 * 2 * 1e9 / 500 = 32000.
+    assert cal.min_parallel_rows(2) == 32000
+
+
+def test_threshold_clamps_low_and_high():
+    fast_kernel = Calibration(1e6, 3000.0, 1.0, startup_s=1e-9)
+    assert fast_kernel.min_parallel_rows(2) == 4096  # floor
+    slow_start = Calibration(2000.0, 6000.0, 500.0, startup_s=10.0)
+    assert slow_start.min_parallel_rows(2) == 1 << 20  # ceiling
+
+
+def test_threshold_infinite_when_plane_costs_more_than_parallel_saves():
+    cal = Calibration(kernel_ns_row=500.0, pickle_ns_row=1.0, plane_ns_row=400.0)
+    # saved = 500 * 0.5 - 400 < 0: parallel can never win at 2 workers.
+    assert cal.min_parallel_rows(2) == 1 << 62
+    # ...but can at 8 (saved = 500 * 7/8 - 400 > 0).
+    assert cal.min_parallel_rows(8) < 1 << 62
+
+
+def test_threshold_infinite_below_two_workers():
+    cal = Calibration(2000.0, 6000.0, 500.0)
+    assert cal.min_parallel_rows(1) == 1 << 62
+    assert cal.min_parallel_rows(0) == 1 << 62
+
+
+def test_chunk_rows_is_a_clamped_power_of_two():
+    # 4 ms at 1000 ns/row = 4000 rows -> largest power of two <= that
+    # is 2048 (starting from the 1024 floor).
+    assert Calibration(1000.0, 1.0, 1.0).chunk_rows() == 2048
+    assert Calibration(1e9, 1.0, 1.0).chunk_rows() == 1024  # floor
+    assert Calibration(0.001, 1.0, 1.0).chunk_rows() == 65536  # ceiling
+    size = Calibration(777.0, 1.0, 1.0).chunk_rows()
+    assert size & (size - 1) == 0
+
+
+# ----------------------------------------------------------- measurement
+
+
+def test_measure_returns_positive_constants():
+    cal = calibrate.measure()
+    assert cal.source == "measured"
+    assert cal.kernel_ns_row > 0
+    assert cal.pickle_ns_row > 0
+    assert cal.plane_ns_row > 0
+
+
+# ----------------------------------------------------------- cache
+
+
+def test_get_writes_then_loads_disk_cache(tmp_path):
+    first = calibrate.get(spill_dir=str(tmp_path))
+    assert first.source == "measured"
+    cached_files = [
+        name for name in os.listdir(tmp_path)
+        if name.startswith("repro-calibration-")
+    ]
+    assert len(cached_files) == 1
+    with open(tmp_path / cached_files[0]) as fh:
+        raw = json.load(fh)
+    assert raw["kernel_ns_row"] == pytest.approx(first.kernel_ns_row)
+
+    calibrate.reset_memo()
+    second = calibrate.get(spill_dir=str(tmp_path))
+    assert second.source == "cache"
+    assert second.kernel_ns_row == pytest.approx(first.kernel_ns_row)
+
+
+def test_memo_short_circuits_disk(tmp_path):
+    first = calibrate.get(spill_dir=str(tmp_path))
+    # Same object back without touching the (now deleted) cache file.
+    for name in os.listdir(tmp_path):
+        os.unlink(tmp_path / name)
+    assert calibrate.get(spill_dir=str(tmp_path)) is first
+
+
+def test_refresh_remeasures_over_cache(tmp_path):
+    path = calibrate._cache_path(str(tmp_path))
+    with open(path, "w") as fh:
+        json.dump(
+            {"kernel_ns_row": 1.0, "pickle_ns_row": 2.0, "plane_ns_row": 3.0},
+            fh,
+        )
+    cached = calibrate.get(spill_dir=str(tmp_path))
+    assert cached.source == "cache"
+    assert cached.kernel_ns_row == 1.0
+    refreshed = calibrate.get(spill_dir=str(tmp_path), refresh=True)
+    assert refreshed.source == "measured"
+    assert refreshed.kernel_ns_row != 1.0
+
+
+def test_corrupt_cache_falls_back_to_measurement(tmp_path):
+    path = calibrate._cache_path(str(tmp_path))
+    with open(path, "w") as fh:
+        fh.write("{not json")
+    cal = calibrate.get(spill_dir=str(tmp_path))
+    assert cal.source == "measured"
+
+
+# ----------------------------------------------------------- observability
+
+
+def test_measured_values_logged_as_gauges(tmp_path):
+    METRICS.enable(clear=True)
+    try:
+        cal = calibrate.get(spill_dir=str(tmp_path))
+        gauges = METRICS.as_dict().get("gauges", {})
+    finally:
+        METRICS.reset()
+        METRICS.disable()
+    assert gauges["calibrate.kernel_ns_row"]["value"] == pytest.approx(
+        cal.kernel_ns_row
+    )
+    assert gauges["calibrate.min_parallel_rows_w2"]["value"] == (
+        cal.min_parallel_rows(2)
+    )
+    assert gauges["calibrate.chunk_rows"]["value"] == cal.chunk_rows()

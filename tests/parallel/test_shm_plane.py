@@ -1,0 +1,250 @@
+"""Shared-memory data plane: fidelity, fallbacks, lifecycle, dispatch.
+
+The plane must be invisible in the output — rows, codes, and counters
+bit-identical to serial — while every exit path (normal completion,
+governed spill, kill/hang/corrupt faults, quarantine) leaves zero
+``/dev/shm`` segments behind.  The ``workers="auto"`` tests pin the
+calibration so adaptive dispatch is deterministic.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import pytest
+
+import repro.parallel.planner as planner
+from repro.core.analysis import analyze_order_modification
+from repro.core.modify import modify_sort_order
+from repro.exec import ExecutionConfig, parse_faults
+from repro.model import Schema, SortSpec, Table
+from repro.obs import METRICS
+from repro.ovc.derive import derive_ovcs
+from repro.parallel import calibrate
+from repro.parallel.api import parallel_modify, resolve_workers
+from repro.parallel.shm import PlaneBuffers, plane_segment_names
+from repro.workloads.generators import random_sorted_table
+
+SCHEMA = Schema.of("A", "B", "C", "D")
+DOMAINS = [12, 24, 48, 8]
+SPEC_IN = SortSpec.of("A", "B", "C")
+SPEC_OUT = SortSpec.of("A", "C", "B")
+
+pytestmark = pytest.mark.skipif(
+    multiprocessing.get_start_method(allow_none=True) not in (None, "fork"),
+    reason="the data plane needs the fork start method",
+)
+
+
+@pytest.fixture(autouse=True)
+def _force_parallel(monkeypatch):
+    monkeypatch.setattr(planner, "MIN_PARALLEL_ROWS", 0)
+
+
+def _table(n_rows=1200, seed=0):
+    return random_sorted_table(
+        SCHEMA, SPEC_IN, n_rows, domains=DOMAINS, seed=seed
+    )
+
+
+def _run(table, spec=SPEC_OUT, **kwargs):
+    plan = analyze_order_modification(table.sort_spec, spec)
+    workers = kwargs.pop("workers", 2)
+    return parallel_modify(table, spec, plan, plan.strategy, workers, **kwargs)
+
+
+def _assert_identical(serial: Table, parallel: Table):
+    assert parallel is not None
+    assert parallel.rows == serial.rows
+    assert parallel.ovcs == serial.ovcs
+
+
+# ------------------------------------------------------------- fidelity
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_plane_bit_identical(workers):
+    table = _table()
+    serial = modify_sort_order(table, SPEC_OUT)
+    result = _run(table, workers=workers, data_plane="shm")
+    _assert_identical(serial, result)
+
+
+def test_plane_is_the_default_under_fork():
+    table = _table()
+    METRICS.enable(clear=True)
+    try:
+        result = _run(table, workers=2)
+        counters = METRICS.as_dict().get("counters", {})
+    finally:
+        METRICS.reset()
+        METRICS.disable()
+    _assert_identical(modify_sort_order(table, SPEC_OUT), result)
+    assert counters.get("pool.shm_blocks", 0) >= 1
+    assert counters.get("pool.ipc_seconds", -1.0) >= 0.0
+
+
+def test_forced_pickle_protocol_still_identical():
+    table = _table()
+    serial = modify_sort_order(table, SPEC_OUT)
+    METRICS.enable(clear=True)
+    try:
+        result = _run(table, workers=2, data_plane="pickle")
+        counters = METRICS.as_dict().get("counters", {})
+    finally:
+        METRICS.reset()
+        METRICS.disable()
+    _assert_identical(serial, result)
+    assert counters.get("pool.shm_blocks", 0) == 0
+
+
+def test_segment_sort_strategy_over_plane():
+    # (A, B) -> (A, C): drops B, sorts each A-segment from scratch.
+    table = random_sorted_table(
+        SCHEMA, SortSpec.of("A", "B"), 1500, domains=DOMAINS, seed=3
+    )
+    spec = SortSpec.of("A", "C")
+    serial = modify_sort_order(table, spec)
+    result = _run(table, spec=spec, workers=2, data_plane="shm")
+    _assert_identical(serial, result)
+
+
+def test_shm_forced_without_fast_engine_raises():
+    table = _table()
+    plan = analyze_order_modification(table.sort_spec, SPEC_OUT)
+    with pytest.raises(ValueError, match="data_plane='shm'"):
+        parallel_modify(
+            table, SPEC_OUT, plan, plan.strategy, 2,
+            engine="reference", data_plane="shm",
+        )
+
+
+def test_non_word_code_values_fall_back_to_pickled_chunks():
+    # String key values rank-pack fine inside the kernels, but their
+    # codes cannot ship as machine words — the plane worker must fall
+    # back to legacy pickled chunks for those shards, bit-identically.
+    names = ["ada", "bob", "cyd", "dee", "eve", "fay", "gus", "hal"]
+    rows = sorted(
+        ((i % 40, names[(i * 7) % len(names)], i % 5, i % 3) for i in range(800)),
+        key=lambda r: (r[0], r[1], r[2]),
+    )
+    spec_in = SortSpec.of("A", "B", "C")
+    ovcs = derive_ovcs(rows, spec_in.positions(SCHEMA), spec_in.directions)
+    table = Table(SCHEMA, rows, spec_in, ovcs)
+    spec = SortSpec.of("A", "C", "B")
+    serial = modify_sort_order(table, spec)
+    result = _run(table, spec=spec, workers=2, data_plane="shm")
+    _assert_identical(serial, result)
+
+
+# ------------------------------------------------------------- lifecycle
+
+
+def test_no_segments_leaked_on_normal_completion():
+    before = plane_segment_names()
+    table = _table()
+    result = _run(table, workers=2, data_plane="shm")
+    assert result is not None
+    assert plane_segment_names() == before
+
+
+def test_no_segments_leaked_under_governed_spill(tmp_path):
+    before = plane_segment_names()
+    table = _table()
+    baseline = modify_sort_order(table, SPEC_OUT)
+    cfg = ExecutionConfig(
+        workers=2, memory_budget="1KiB", spill_dir=str(tmp_path),
+        data_plane="shm",
+    )
+    governed = modify_sort_order(table, SPEC_OUT, config=cfg)
+    _assert_identical(baseline, governed)
+    assert plane_segment_names() == before
+
+
+@pytest.mark.parametrize(
+    "faults,timeout_s",
+    [
+        ("kill@0x1", None),
+        ("kill@0", None),  # fires every attempt: retries exhaust, quarantine
+        ("hang@0x1", 0.5),
+        ("corrupt@0x1", None),
+    ],
+)
+def test_no_segments_leaked_after_faults(faults, timeout_s):
+    before = plane_segment_names()
+    table = _table()
+    baseline = modify_sort_order(table, SPEC_OUT)
+    cfg = ExecutionConfig(workers=2, shard_timeout_s=timeout_s)
+    result = _run(
+        table, workers=2, data_plane="shm", config=cfg,
+        faults=parse_faults(faults),
+    )
+    _assert_identical(baseline, result)
+    assert plane_segment_names() == before
+
+
+def test_buffers_destroy_is_idempotent_and_releases_name():
+    before = plane_segment_names()
+    buffers = PlaneBuffers(64)
+    assert buffers.name in plane_segment_names()
+    buffers.write(0, 4, *(3 * [__import__("array").array("q", range(4))]), 0)
+    buffers.destroy()
+    assert plane_segment_names() == before
+
+
+# ------------------------------------------------------- adaptive dispatch
+
+
+def test_auto_resolves_serial_on_single_core(monkeypatch):
+    monkeypatch.setattr(os, "cpu_count", lambda: 1)
+    assert resolve_workers("auto") == 1
+    table = _table()
+    # Serial resolution must short-circuit before any pool machinery.
+    from repro.parallel import pool
+
+    def _boom(*a, **k):
+        raise AssertionError("pool must not start for auto on one core")
+
+    monkeypatch.setattr(pool.ShardExecutor, "_start", _boom)
+    assert _run(table, workers="auto") is None
+
+
+def test_auto_stays_serial_below_calibrated_threshold(monkeypatch):
+    monkeypatch.setattr(os, "cpu_count", lambda: 4)
+    cal = calibrate.Calibration(
+        kernel_ns_row=1000.0, pickle_ns_row=3000.0, plane_ns_row=100.0,
+        startup_s=1.0,  # enormous startup -> threshold clamps to 1 << 20
+    )
+    monkeypatch.setattr(calibrate, "_MEMO", cal)
+    assert cal.min_parallel_rows(4) == 1 << 20
+    table = _table(n_rows=1200)
+    assert _run(table, workers="auto") is None
+
+
+def test_auto_engages_above_calibrated_threshold(monkeypatch):
+    monkeypatch.setattr(os, "cpu_count", lambda: 2)
+    cal = calibrate.Calibration(
+        kernel_ns_row=10000.0, pickle_ns_row=3000.0, plane_ns_row=100.0,
+        startup_s=1e-6,  # negligible startup -> threshold clamps to 4096
+    )
+    monkeypatch.setattr(calibrate, "_MEMO", cal)
+    assert cal.min_parallel_rows(2) == 4096
+    table = _table(n_rows=5000)
+    serial = modify_sort_order(table, SPEC_OUT)
+    result = _run(table, workers="auto")
+    _assert_identical(serial, result)
+
+
+def test_explicit_worker_count_bypasses_adaptive_gate(monkeypatch):
+    # Explicit ints are taken at face value even when calibration says
+    # parallel cannot win — needed for benchmarks and tests on 1-cpu hosts.
+    cal = calibrate.Calibration(
+        kernel_ns_row=100.0, pickle_ns_row=3000.0, plane_ns_row=5000.0,
+    )
+    monkeypatch.setattr(calibrate, "_MEMO", cal)
+    assert cal.min_parallel_rows(2) == 1 << 62
+    table = _table()
+    serial = modify_sort_order(table, SPEC_OUT)
+    result = _run(table, workers=2)
+    _assert_identical(serial, result)
