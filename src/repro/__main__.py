@@ -11,6 +11,9 @@ Regenerates the paper's measured artifacts as text tables:
   (``--json PATH`` writes the machine-readable trajectory artifact);
   with ``--workers 1,2,4`` it instead sweeps the parallel subsystem
   (serial vs worker pools) over the Figure 11 many-segment workload;
+  with ``--cache`` it instead measures the order cache — cold sort vs
+  modify-from-cached-order vs exact hit over the Table 1 order pairs —
+  and fails if any cache-served cell is slower than the cold sort;
 * ``trace`` — run one Table 1 case under the span tracer and metrics
   registry (``--case N``, ``--trace-workers W``), write the trace
   artifact (Chrome trace-event JSON by default, JSON-lines for
@@ -32,9 +35,12 @@ Resource governance (:mod:`repro.exec`): ``--memory-budget 64MiB``
 caps the per-query buffered bytes (excess spills to disk, output
 bit-identical), ``--spill-dir`` picks where spill files land,
 ``--shard-timeout``/``--shard-retries`` set the worker pool's fault
-policy.  The same knobs are honored from the environment
-(``REPRO_MEMORY_BUDGET``, ``REPRO_SPILL_DIR``, ``REPRO_SHARD_TIMEOUT``,
-``REPRO_SHARD_RETRIES``); command-line flags win.
+policy.  The order cache (:mod:`repro.cache`) is governed by
+``--cache off|on|auto``, ``--cache-budget``, and ``--cache-ttl``.  The
+same knobs are honored from the environment (``REPRO_MEMORY_BUDGET``,
+``REPRO_SPILL_DIR``, ``REPRO_SHARD_TIMEOUT``, ``REPRO_SHARD_RETRIES``,
+``REPRO_CACHE``, ``REPRO_CACHE_BUDGET``, ``REPRO_CACHE_TTL``);
+command-line flags win.
 """
 
 from __future__ import annotations
@@ -71,6 +77,12 @@ def _exec_config(args, workers: int | str | None = None) -> ExecutionConfig:
         overrides["shard_timeout_s"] = args.shard_timeout
     if args.shard_retries is not None:
         overrides["shard_retries"] = args.shard_retries
+    if getattr(args, "cache", None) is not None:
+        overrides["cache"] = args.cache
+    if getattr(args, "cache_budget", None) is not None:
+        overrides["cache_budget"] = args.cache_budget
+    if getattr(args, "cache_ttl", None) is not None:
+        overrides["cache_ttl"] = args.cache_ttl
     return cfg.with_(**overrides) if overrides else cfg
 
 
@@ -221,6 +233,33 @@ def _bench(
         print("FIDELITY FAILURE: fast engine diverged from reference")
         return 1
     return 0
+
+
+def _bench_cache(n_rows: int, seed: int, json_path: str | None) -> int:
+    from .bench.cache_bench import (
+        check_cache_record,
+        format_cache_cells,
+        run_cache_trajectory,
+        write_cache_trajectory,
+    )
+
+    record = run_cache_trajectory(n_rows, seed=seed)
+    print(
+        format_table(
+            format_cache_cells(record),
+            f"cold sort vs cached modify ({n_rows:,} rows; "
+            f"{record['cells_served']}/{len(record['cells'])} cells "
+            f"cache-served, min speedup {record['min_speedup']}x, "
+            f"geomean {record['geomean_speedup']}x)",
+        )
+    )
+    if json_path:
+        write_cache_trajectory(json_path, record)
+        print(f"wrote {json_path}")
+    problems = check_cache_record(record)
+    for problem in problems:
+        print(f"CACHE BENCH FAILURE: {problem}")
+    return 1 if problems else 0
 
 
 def _parse_workers(spec: str) -> list[int]:
@@ -435,6 +474,30 @@ def main(argv: list[str] | None = None) -> int:
         help="pooled attempts to retry a failed shard before it is"
         " quarantined to serial execution (default 1)",
     )
+    parser.add_argument(
+        "--cache",
+        nargs="?",
+        const="on",
+        choices=["off", "on", "auto"],
+        default=None,
+        help="order-cache mode for the run; with 'bench', run the"
+        " cold-sort vs cached-modify sweep over the Table 1 orders"
+        " instead of the engine cells (bare --cache means on)",
+    )
+    parser.add_argument(
+        "--cache-budget",
+        metavar="BYTES",
+        default=None,
+        help="order-cache resident budget (e.g. 8MiB); cold entries"
+        " spill to disk beyond it",
+    )
+    parser.add_argument(
+        "--cache-ttl",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="order-cache entry lifetime (default: no expiry)",
+    )
     args = parser.parse_args(argv)
     n_rows = 1 << args.log2_rows
     cfg = _exec_config(args)
@@ -455,7 +518,9 @@ def main(argv: list[str] | None = None) -> int:
         METRICS.enable(clear=True)
 
     if args.experiment == "bench":
-        if args.workers:
+        if args.cache is not None:
+            rc = _bench_cache(n_rows, args.seed, args.json)
+        elif args.workers:
             rc = _bench_parallel(
                 n_rows, args.seed, args.json, _parse_workers(args.workers),
                 collect_metrics=args.metrics,

@@ -1,0 +1,171 @@
+"""Order-cache benchmark trajectory: cold sort vs cached modify.
+
+The order cache's acceptance bar is that answering a repeat
+``order_by`` against rows whose *sibling* order is already cached —
+by feeding the cached rows and codes through the paper's
+order-modification machinery — beats sorting those rows from scratch,
+on every Table 1 order pair, with bit-identical output.  This module
+measures exactly that and emits a machine-readable record, committed
+as ``BENCH_cache.json`` at the repo root.
+
+Per Table 1 case ``(input order, output order)``:
+
+* **cold_s** — ``Query.order_by(output)`` over the unordered rows with
+  ``cache="off"``: the full tournament sort, best of ``repeats``.
+* **modify_s** — the same request with ``cache="on"`` against a fresh
+  cache primed (untimed) with the *input* order: the dispatcher prices
+  the cached sibling, serves through ``modify_sort_order``, and
+  installs the result.  Each repeat uses a freshly primed cache so the
+  timed request is always the modify-from-cache path.
+* **hit_s** — the request once more on the now-warm cache: the exact
+  hit (rows and codes verbatim, counters replayed).
+
+Fidelity per cell: the cached responses' rows *and* codes must equal
+the cold sort's bit for bit.  ``min_speedup`` aggregates
+``cold_s / modify_s`` over the cells actually served from the cache;
+the CLI and benchmark drivers exit non-zero when any such cell is
+slower than the cold sort or any fidelity check fails, gating CI.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import time
+
+from ..exec import ExecutionConfig
+from ..model import Schema, SortSpec, Table
+from ..query import Query
+from ..workloads.generators import random_table
+
+#: The Table 1 order pairs (input order -> output order).
+TABLE1_CASES = {
+    0: (("A", "B"), ("A",)),
+    1: (("A",), ("A", "B")),
+    2: (("A", "B"), ("B",)),
+    3: (("A", "B"), ("B", "A")),
+    4: (("A", "B", "C"), ("A", "C")),
+    5: (("A", "B", "C"), ("A", "C", "B")),
+    6: (("A", "B", "C", "D"), ("A", "C", "D")),
+    7: (("A", "B", "C", "D"), ("A", "C", "B", "D")),
+}
+
+_SCHEMA = Schema.of("A", "B", "C", "D")
+_DOMAINS = {"A": 32, "B": 64, "C": 256, "D": 8}
+
+_OFF = ExecutionConfig(cache="off")
+_ON = ExecutionConfig(cache="on")
+
+
+def _run(table: Table, columns: tuple, config: ExecutionConfig):
+    """Execute one order_by; returns (seconds, result, Sort operator)."""
+    q = Query(table).order_by(*columns, config=config)
+    start = time.perf_counter()
+    out = q.to_table()
+    return time.perf_counter() - start, out, q.op
+
+
+def _cell(case: int, inp: tuple, out_cols: tuple, n_rows: int, seed: int,
+          repeats: int) -> dict:
+    from ..cache import configure_cache, reset_cache
+
+    table = random_table(
+        _SCHEMA, n_rows,
+        domains=[_DOMAINS[c] for c in _SCHEMA.columns],
+        seed=seed + case,
+    )
+
+    cold_s = math.inf
+    for _ in range(repeats):
+        s, cold, _op = _run(table, out_cols, _OFF)
+        cold_s = min(cold_s, s)
+
+    modify_s = math.inf
+    strategy = None
+    cached = None
+    for _ in range(repeats):
+        configure_cache()  # fresh, unlimited, no TTL
+        _run(table, inp, _ON)  # prime with the input order (untimed)
+        s, cached, op = _run(table, out_cols, _ON)
+        modify_s = min(modify_s, s)
+        strategy = op.order_strategy
+
+    # Exact repeat on the warm cache from the last repeat.
+    hit_s, hit, hit_op = _run(table, out_cols, _ON)
+    reset_cache()
+
+    fidelity_ok = (
+        cached.rows == cold.rows and cached.ovcs == cold.ovcs
+        and hit.rows == cold.rows and hit.ovcs == cold.ovcs
+    )
+    served = strategy is not None and strategy.startswith("modify-from-cache")
+    return {
+        "case": case,
+        "from": ",".join(inp),
+        "to": ",".join(out_cols),
+        "cold_s": round(cold_s, 4),
+        "modify_s": round(modify_s, 4),
+        "hit_s": round(hit_s, 4),
+        "speedup": round(cold_s / max(modify_s, 1e-9), 2),
+        "hit_speedup": round(cold_s / max(hit_s, 1e-9), 2),
+        "strategy": strategy,
+        "hit_strategy": hit_op.order_strategy,
+        "served_from_cache": served,
+        "fidelity_ok": fidelity_ok,
+    }
+
+
+def run_cache_trajectory(
+    n_rows: int, seed: int = 0, repeats: int = 3
+) -> dict:
+    """The full cold-vs-cached sweep; returns the JSON-ready record."""
+    cells = [
+        _cell(case, inp, out_cols, n_rows, seed, repeats)
+        for case, (inp, out_cols) in TABLE1_CASES.items()
+    ]
+    served = [c["speedup"] for c in cells if c["served_from_cache"]]
+    return {
+        "n_rows": n_rows,
+        "seed": seed,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "fidelity_ok": all(c["fidelity_ok"] for c in cells),
+        "cells_served": len(served),
+        "min_speedup": min(served) if served else 0.0,
+        "geomean_speedup": round(
+            math.exp(sum(math.log(max(s, 1e-9)) for s in served)
+                     / len(served)), 2
+        ) if served else 0.0,
+        "cells": cells,
+    }
+
+
+def check_cache_record(record: dict) -> list[str]:
+    """CI-gate findings for a trajectory record (empty = pass)."""
+    problems = []
+    if not record["fidelity_ok"]:
+        problems.append("cached output diverged from the cold sort")
+    for cell in record["cells"]:
+        if cell["served_from_cache"] and cell["speedup"] < 1.0:
+            problems.append(
+                f"case {cell['case']} ({cell['from']} -> {cell['to']}): "
+                f"cached modify slower than cold sort "
+                f"({cell['modify_s']}s vs {cell['cold_s']}s)"
+            )
+    return problems
+
+
+def write_cache_trajectory(path: str, record: dict) -> None:
+    with open(path, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+
+
+def format_cache_cells(record: dict) -> list[dict]:
+    """Display rows for :func:`repro.bench.harness.format_table`."""
+    return [
+        {k: v for k, v in cell.items()
+         if k not in ("served_from_cache", "hit_strategy")}
+        for cell in record["cells"]
+    ]

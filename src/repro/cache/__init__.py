@@ -1,0 +1,119 @@
+"""Order cache: serve repeat ``order_by`` traffic by modifying cached
+sort orders instead of re-sorting.
+
+The paper's thesis is that a sort order plus its offset-value codes is
+a reusable asset — producing a *related* order from it costs far less
+than sorting from scratch.  Within one :func:`~repro.core.modify.
+modify_sort_order` call the repo has exploited that since PR 1; this
+package exploits it **across requests**: every executed ``Sort``
+installs its output (rows *and* codes) into an in-process
+:class:`OrderCache` keyed by a content fingerprint of the source rows
+plus the requested :class:`~repro.model.SortSpec`, and later requests
+against the same data are answered from the cache — verbatim for the
+same order, or through the paper's order-modification machinery for a
+related one (:mod:`repro.cache.dispatch` picks the cheapest cached
+starting point with the cost model).
+
+Usage is governed by :class:`~repro.exec.ExecutionConfig`:
+
+* ``cache="off"`` (default) — never touch the cache;
+* ``cache="on"`` — use the process-wide cache, creating it on first
+  use with the config's ``cache_budget`` / ``cache_ttl`` /
+  ``spill_dir``;
+* ``cache="auto"`` — use the process-wide cache only if something
+  already created it (mirrors the ``trace``/``metrics`` tri-state).
+
+Environment: ``REPRO_CACHE`` / ``REPRO_CACHE_BUDGET`` /
+``REPRO_CACHE_TTL``.  Observability: ``cache.hits`` / ``cache.misses``
+/ ``cache.installs`` / ``cache.evictions`` / ``cache.expirations`` /
+``cache.spills`` / ``cache.rehydrates`` / ``cache.modify_serves`` /
+``cache.comparisons_saved`` counters, ``cache.bytes_resident`` /
+``cache.entries`` gauges, and a per-hit
+``cache.hit_comparisons_saved`` histogram.
+"""
+
+from __future__ import annotations
+
+import atexit
+import threading
+
+from ..exec.config import ExecutionConfig
+from .dispatch import ServeOutcome, install_result, serve
+from .fingerprint import Fingerprint, fingerprint_rows, fingerprint_table
+from .store import CachedOrder, OrderCache
+
+__all__ = [
+    "CachedOrder",
+    "Fingerprint",
+    "OrderCache",
+    "ServeOutcome",
+    "configure_cache",
+    "fingerprint_rows",
+    "fingerprint_table",
+    "get_cache",
+    "install_result",
+    "reset_cache",
+    "resolve_cache",
+    "serve",
+]
+
+_LOCK = threading.RLock()
+_CACHE: OrderCache | None = None
+
+
+def get_cache() -> OrderCache | None:
+    """The process-wide order cache, if one has been created."""
+    return _CACHE
+
+
+def configure_cache(
+    budget: int | None = None,
+    ttl: float | None = None,
+    spill_dir: str | None = None,
+    spill: bool = True,
+    max_entries: int | None = None,
+) -> OrderCache:
+    """Create (replacing any previous) the process-wide order cache."""
+    global _CACHE
+    with _LOCK:
+        if _CACHE is not None:
+            _CACHE.close()
+        _CACHE = OrderCache(
+            budget=budget, ttl=ttl, spill_dir=spill_dir, spill=spill,
+            max_entries=max_entries,
+        )
+        return _CACHE
+
+
+def reset_cache() -> None:
+    """Close and discard the process-wide cache (idempotent)."""
+    global _CACHE
+    with _LOCK:
+        if _CACHE is not None:
+            _CACHE.close()
+            _CACHE = None
+
+
+def resolve_cache(config: ExecutionConfig) -> OrderCache | None:
+    """The cache a given config asks for (``None`` = stay cold).
+
+    ``"on"`` lazily creates the process-wide cache from the config's
+    ``cache_budget`` / ``cache_ttl`` / ``spill_dir`` the first time;
+    an existing cache is reused as-is (first configuration wins —
+    reconfigure explicitly via :func:`configure_cache`).
+    """
+    if config.cache == "off":
+        return None
+    if config.cache == "auto":
+        return _CACHE
+    with _LOCK:
+        if _CACHE is None:
+            return configure_cache(
+                budget=config.cache_budget,
+                ttl=config.cache_ttl,
+                spill_dir=config.spill_dir,
+            )
+        return _CACHE
+
+
+atexit.register(reset_cache)

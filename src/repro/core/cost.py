@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Sequence
 
 from .analysis import ModificationPlan, Strategy
 
@@ -102,6 +103,29 @@ class CostModel:
             comparisons = s * levels * _nlogk(per_segment, self.fan_in)
         return CostEstimate(Strategy.COMBINED, comparisons, 0.0)
 
+    def modify_from(self, plan: ModificationPlan) -> CostEstimate:
+        """Cheapest way to reach ``plan.output_spec`` by *modifying* an
+        existing order described by ``plan`` — the order cache's
+        candidate estimate (vs. :meth:`full_sort`).
+
+        Only the structural strategies the plan's decomposition
+        supports compete; a plan with no exploitable structure prices
+        as a full sort, so callers can compare candidates and the
+        from-scratch baseline through one method.
+        """
+        if plan.strategy is Strategy.NOOP:
+            return CostEstimate(Strategy.NOOP, 0.0, 0.0)
+        candidates: list[CostEstimate] = []
+        if plan.prefix_len > 0:
+            candidates.append(self.segment_sort())
+        if plan.merge_len > 0:
+            candidates.append(self.merge_runs())
+            if plan.prefix_len > 0:
+                candidates.append(self.combined())
+        if not candidates:
+            return self.full_sort()
+        return min(candidates, key=lambda c: c.total)
+
     def estimate(self, strategy: Strategy) -> CostEstimate:
         if strategy is Strategy.FULL_SORT:
             return self.full_sort()
@@ -112,6 +136,24 @@ class CostModel:
         if strategy is Strategy.COMBINED:
             return self.combined()
         return CostEstimate(Strategy.NOOP, 0.0, 0.0)
+
+
+def counts_to_structure(
+    offset_counts: Sequence[int], prefix_len: int, infix_len: int
+) -> tuple[int, int]:
+    """Segment and run counts from a per-offset code histogram.
+
+    ``offset_counts[k]`` is the number of codes with offset exactly
+    ``k`` in some sorted order (the order cache stores one histogram
+    per entry at install time).  A code with offset below ``p`` starts
+    a new distinct value of the first ``p`` columns, so the counts of
+    distinct prefix values (segments) and distinct prefix+infix values
+    (pre-existing runs) fall out by prefix summation — and distinct
+    counts are direction-independent, so backward plans price the same.
+    """
+    n_segments = max(1, sum(offset_counts[:prefix_len]))
+    n_runs = max(n_segments, sum(offset_counts[: prefix_len + infix_len]))
+    return n_segments, n_runs
 
 
 def estimate_costs(

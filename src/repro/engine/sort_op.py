@@ -28,6 +28,19 @@ serial automatically.  ``config.memory_budget`` governs the order
 modification's buffered output (spill-to-disk under pressure).  The
 standalone ``engine=``/``workers=`` kwargs are the config fields'
 deprecated spellings.
+
+``config.cache`` plugs the operator into the order cache
+(:mod:`repro.cache`): before sorting, the cache is consulted for this
+exact (source rows, order) pair — a hit serves the cached rows and
+codes verbatim (recorded comparison counters replayed) — or for a
+*related* cached order that the cost model prices cheaper to modify
+than the uncached execution; either way the served output is
+bit-identical to an uncached run.  Every executed sort installs its
+output for future requests.  The strategy actually used is recorded in
+:attr:`Sort.order_strategy` and shown by ``EXPLAIN`` after execution
+(``full-sort``, ``modify(<order>)``, ``cache-hit(<order>)``,
+``modify-from-cache(<order>)``, ...).  The cache engages only on the
+in-memory ``method="auto"`` + ``use_ovc`` paths.
 """
 
 from __future__ import annotations
@@ -73,11 +86,60 @@ class Sort(Operator):
         self._engine = self._config.engine
         #: Strategy actually executed, for tests and EXPLAIN output.
         self.executed: str | None = None
+        #: Human-readable order strategy for EXPLAIN: ``passthrough``,
+        #: ``full-sort``, ``external-sort``, ``modify(<order>)``,
+        #: ``cache-hit(<order>)``, or ``modify-from-cache(<order>)``.
+        self.order_strategy: str | None = None
+        #: Fingerprint of the source rows when the cache was consulted.
+        self._cache_fp = None
+
+    def _cache(self):
+        """The order cache this sort may use, or ``None``.
+
+        The cache engages only where its bit-identical contract is
+        provable: the in-memory auto-method path with offset-value
+        codes requested.  Forced methods, ``use_ovc=False``, and the
+        external-sort configuration stay cold.
+        """
+        if (
+            self._config.cache == "off"
+            or self._method != "auto"
+            or not self._use_ovc
+            or self._memory_capacity is not None
+        ):
+            return None
+        from ..cache import resolve_cache
+
+        return resolve_cache(self._config)
+
+    def _serve(self, cache, table: Table) -> Table | None:
+        """Ask the cache for this (source, order); remember the
+        fingerprint so a cold execution can install its result."""
+        from ..cache import serve
+
+        outcome = serve(
+            cache, table, self._spec, stats=self.stats, config=self._config
+        )
+        self._cache_fp = outcome.fingerprint
+        if outcome.table is None:
+            return None
+        self.executed = "cache"
+        self.order_strategy = outcome.label
+        return outcome.table
+
+    def _install(self, cache, result: Table, delta) -> None:
+        from ..cache import install_result
+
+        if cache is not None and self._cache_fp is not None:
+            install_result(
+                cache, self._cache_fp, self._spec, result, delta
+            )
 
     def __iter__(self) -> Iterator[tuple[tuple, tuple | None]]:
         child = self._child
         if child.ordering is not None and child.ordering.satisfies(self._spec):
             self.executed = "passthrough"
+            self.order_strategy = "passthrough"
             arity = self._spec.arity
             for row, ovc in child:
                 if ovc is None:
@@ -88,8 +150,16 @@ class Sort(Operator):
                     yield row, ovc
             return
 
+        cache = self._cache()
+
         if child.ordering is not None:
             table = child.to_table()
+            if cache is not None and table.ovcs is not None:
+                served = self._serve(cache, table)
+                if served is not None:
+                    yield from _emit(served)
+                    return
+            before = self.stats.snapshot()
             result = modify_sort_order(
                 table,
                 self._spec,
@@ -101,6 +171,10 @@ class Sort(Operator):
                 ),
             )
             self.executed = "modify_sort_order"
+            self.order_strategy = (
+                f"modify({','.join(str(c) for c in child.ordering)})"
+            )
+            self._install(cache, result, self.stats - before)
             yield from _emit(result)
             return
 
@@ -118,9 +192,16 @@ class Sort(Operator):
             )
             result = sorter.sort(rows)
             self.executed = "external_sort"
+            self.order_strategy = "external-sort"
             self.stats.merge(result.total_stats)
             yield from zip(result.rows, result.ovcs or (None,) * len(result.rows))
             return
+
+        if cache is not None:
+            served = self._serve(cache, Table(self.schema, rows))
+            if served is not None:
+                yield from _emit(served)
+                return
 
         if self._engine == "fast":
             from ..fastpath.execute import fast_sort
@@ -129,9 +210,18 @@ class Sort(Operator):
                 rows, self._spec.positions(self.schema), self._spec.directions
             )
             self.executed = "internal_sort"
+            self.order_strategy = "full-sort"
+            from ..ovc.stats import ComparisonStats
+
+            self._install(
+                cache,
+                Table(self.schema, sorted_rows, self._spec, ovcs),
+                ComparisonStats(),
+            )
             yield from zip(sorted_rows, ovcs)
             return
 
+        before = self.stats.snapshot()
         sorted_rows, ovcs = tournament_sort(
             rows,
             self._spec.positions(self.schema),
@@ -140,6 +230,13 @@ class Sort(Operator):
             self._use_ovc,
         )
         self.executed = "internal_sort"
+        self.order_strategy = "full-sort"
+        if ovcs is not None:
+            self._install(
+                cache,
+                Table(self.schema, sorted_rows, self._spec, ovcs),
+                self.stats - before,
+            )
         if ovcs is None:
             for row in sorted_rows:
                 yield row, None
@@ -148,6 +245,12 @@ class Sort(Operator):
 
     def _children(self) -> list[Operator]:
         return [self._child]
+
+    def _explain_detail(self) -> str:
+        base = super()._explain_detail()
+        if self.order_strategy is not None:
+            return f"{base} [strategy: {self.order_strategy}]"
+        return base
 
 
 def _emit(table: Table) -> Iterator[tuple[tuple, tuple | None]]:

@@ -30,6 +30,8 @@ _ENGINES = ("auto", "fast", "reference")
 
 _DATA_PLANES = ("auto", "shm", "pickle")
 
+_CACHE_MODES = ("off", "on", "auto")
+
 #: Multipliers for the memory-size suffixes :func:`parse_memory` accepts.
 _UNITS = {
     "b": 1,
@@ -134,6 +136,19 @@ class ExecutionConfig:
         span tracer / metrics registry for governed runs, ``False``
         keeps them off, ``None`` (default) follows whatever the process
         singletons are set to.
+    cache:
+        Order-cache mode (:mod:`repro.cache`): ``"off"`` (default)
+        never consults it, ``"on"`` uses the process-wide cache
+        (created on first use with this config's ``cache_budget`` /
+        ``cache_ttl`` / ``spill_dir``), ``"auto"`` uses it only when
+        something already created one — the same follow-the-singleton
+        tri-state as ``trace``/``metrics``.
+    cache_budget:
+        Resident-byte budget for the order cache (int bytes or a
+        ``parse_memory`` string); cold entries spill to disk beyond
+        it.  ``None`` means unlimited.
+    cache_ttl:
+        Order-cache entry lifetime in seconds (``None`` = no expiry).
     """
 
     engine: str = "auto"
@@ -146,6 +161,9 @@ class ExecutionConfig:
     data_plane: str = "auto"
     trace: bool | None = None
     metrics: bool | None = None
+    cache: str = "off"
+    cache_budget: int | None = None
+    cache_ttl: float | None = None
 
     def __post_init__(self) -> None:
         if self.engine not in _ENGINES:
@@ -182,6 +200,18 @@ class ExecutionConfig:
             raise ValueError(
                 f"shard_retries must be non-negative, got {self.shard_retries}"
             )
+        if self.cache not in _CACHE_MODES:
+            raise ValueError(
+                f"unknown cache mode {self.cache!r}; "
+                f"choose from {sorted(_CACHE_MODES)}"
+            )
+        object.__setattr__(
+            self, "cache_budget", parse_memory(self.cache_budget)
+        )
+        if self.cache_ttl is not None and self.cache_ttl <= 0:
+            raise ValueError(
+                f"cache_ttl must be positive, got {self.cache_ttl}"
+            )
 
     # ------------------------------------------------------ constructors
 
@@ -204,7 +234,10 @@ class ExecutionConfig:
         ``auto``), ``REPRO_MAX_FAN_IN``, ``REPRO_MEMORY_BUDGET``
         (``parse_memory`` syntax), ``REPRO_SPILL_DIR``,
         ``REPRO_SHARD_TIMEOUT`` (seconds), ``REPRO_SHARD_RETRIES``,
-        ``REPRO_DATA_PLANE`` (``auto``/``shm``/``pickle``).
+        ``REPRO_DATA_PLANE`` (``auto``/``shm``/``pickle``),
+        ``REPRO_CACHE`` (``off``/``on``/``auto``; ``1``/``0`` are
+        accepted as ``on``/``off``), ``REPRO_CACHE_BUDGET``
+        (``parse_memory`` syntax), ``REPRO_CACHE_TTL`` (seconds).
         Unset variables keep the field defaults.
         """
         e = os.environ if env is None else env
@@ -226,6 +259,13 @@ class ExecutionConfig:
             kwargs["shard_retries"] = int(e["REPRO_SHARD_RETRIES"])
         if e.get("REPRO_DATA_PLANE"):
             kwargs["data_plane"] = e["REPRO_DATA_PLANE"]
+        if e.get("REPRO_CACHE"):
+            raw = e["REPRO_CACHE"].strip().lower()
+            kwargs["cache"] = {"1": "on", "0": "off"}.get(raw, raw)
+        if e.get("REPRO_CACHE_BUDGET"):
+            kwargs["cache_budget"] = e["REPRO_CACHE_BUDGET"]
+        if e.get("REPRO_CACHE_TTL"):
+            kwargs["cache_ttl"] = float(e["REPRO_CACHE_TTL"])
         return cls(**kwargs)
 
     def with_(self, **overrides) -> "ExecutionConfig":

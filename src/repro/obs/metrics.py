@@ -34,6 +34,15 @@ the shared-memory data plane's ``pool.shm_blocks`` /
 ``calibrate.*`` gauges (``kernel_ns_row``, ``pickle_ns_row``,
 ``plane_ns_row``, ``min_parallel_rows_w2``, ``chunk_rows``) recording
 what the per-host calibration measured and derived.
+
+The order cache (:mod:`repro.cache`) publishes under ``cache.*``:
+counters ``cache.hits`` / ``cache.misses`` / ``cache.installs`` /
+``cache.evictions`` / ``cache.expirations`` / ``cache.spills`` /
+``cache.rehydrates`` / ``cache.rejected`` / ``cache.modify_serves``
+(related order produced by modifying a cached one) /
+``cache.comparisons_saved`` (column comparisons avoided by exact
+hits), gauges ``cache.bytes_resident`` / ``cache.entries``, and the
+per-hit ``cache.hit_comparisons_saved`` histogram.
 """
 
 from __future__ import annotations

@@ -100,8 +100,13 @@ class Query:
         with the config's retry/timeout policy — output is
         bit-identical and small or unshardable jobs fall back to serial
         automatically; ``memory_budget`` spills buffered output to disk
-        under pressure.  The standalone ``engine=``/``workers=`` kwargs
-        are deprecated spellings of the config fields.
+        under pressure; ``cache="on"`` serves repeat orders over the
+        same rows from the order cache (:mod:`repro.cache`) — exact
+        repeats verbatim, related orders by modifying the best cached
+        order — with the strategy shown per Sort node by
+        :meth:`explain` / ``explain_analyze`` after execution.  The
+        standalone ``engine=``/``workers=`` kwargs are deprecated
+        spellings of the config fields.
         """
         cfg = resolve_config(config, engine=engine, workers=workers)
         return self._wrap(

@@ -1,0 +1,67 @@
+"""The order-cache bench driver: record shape, fidelity, CI gating."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.cache_bench import (
+    TABLE1_CASES,
+    check_cache_record,
+    format_cache_cells,
+    run_cache_trajectory,
+    write_cache_trajectory,
+)
+from repro.cache import get_cache, reset_cache
+
+
+def test_trajectory_record_smoke(tmp_path):
+    record = run_cache_trajectory(256, seed=0, repeats=1)
+    assert len(record["cells"]) == len(TABLE1_CASES)
+    assert record["fidelity_ok"]
+    for cell in record["cells"]:
+        assert cell["fidelity_ok"]
+        assert cell["cold_s"] >= 0 and cell["modify_s"] >= 0
+        assert cell["hit_strategy"].startswith("cache-hit(")
+    # The bench cleans the process-wide cache up after itself.
+    assert get_cache() is None
+
+    path = tmp_path / "BENCH_cache.json"
+    write_cache_trajectory(str(path), record)
+    assert json.loads(path.read_text())["n_rows"] == 256
+
+    rows = format_cache_cells(record)
+    assert len(rows) == len(record["cells"])
+    assert "served_from_cache" not in rows[0]
+    reset_cache()
+
+
+def test_check_cache_record_gates():
+    ok = {
+        "fidelity_ok": True,
+        "cells": [
+            {"case": 0, "from": "A,B", "to": "A", "served_from_cache": True,
+             "speedup": 2.0, "modify_s": 0.1, "cold_s": 0.2},
+        ],
+    }
+    assert check_cache_record(ok) == []
+
+    slow = {
+        "fidelity_ok": True,
+        "cells": [
+            {"case": 0, "from": "A,B", "to": "A", "served_from_cache": True,
+             "speedup": 0.8, "modify_s": 0.2, "cold_s": 0.16},
+        ],
+    }
+    assert any("slower" in p for p in check_cache_record(slow))
+
+    unserved_slow = {
+        "fidelity_ok": True,
+        "cells": [
+            {"case": 0, "from": "A,B", "to": "A", "served_from_cache": False,
+             "speedup": 0.8, "modify_s": 0.2, "cold_s": 0.16},
+        ],
+    }
+    assert check_cache_record(unserved_slow) == []  # not cache-served
+
+    broken = {"fidelity_ok": False, "cells": []}
+    assert any("diverged" in p for p in check_cache_record(broken))

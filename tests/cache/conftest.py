@@ -1,0 +1,15 @@
+"""Shared fixtures for the order-cache suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import reset_cache
+
+
+@pytest.fixture(autouse=True)
+def _fresh_process_cache():
+    """Isolate every test from the process-wide cache singleton."""
+    reset_cache()
+    yield
+    reset_cache()

@@ -1,0 +1,205 @@
+"""Dispatcher correctness: every served result is bit-identical to a
+cold execution — rows, codes, and (for replayable hits) counters."""
+
+from __future__ import annotations
+
+import random
+
+from repro.cache import fingerprint_table, install_result, serve
+from repro.cache.store import OrderCache
+from repro.cache.dispatch import _retiebreak
+from repro.core.modify import modify_sort_order
+from repro.exec import ExecutionConfig
+from repro.model import Schema, SortSpec, Table
+from repro.ovc.derive import derive_ovcs
+from repro.ovc.stats import ComparisonStats
+from repro.sorting.internal import tournament_sort
+
+
+SCHEMA = Schema.of("A", "B", "C")
+CFG = ExecutionConfig()
+
+
+def _source(n=300, domains=(5, 4, 3), seed=0) -> Table:
+    rng = random.Random(seed)
+    rows = [tuple(rng.randrange(d) for d in domains) for _ in range(n)]
+    return Table(SCHEMA, rows)
+
+
+def _cold_sort(source: Table, spec: SortSpec):
+    """What an uncached Sort would produce for an unordered child."""
+    stats = ComparisonStats()
+    rows, ovcs = tournament_sort(
+        list(source.rows), spec.positions(source.schema), stats,
+        spec.directions, True,
+    )
+    return rows, ovcs, stats
+
+
+def test_exact_hit_replays_counters_bit_identically():
+    cache = OrderCache()
+    source = _source()
+    spec = SortSpec.of("A", "B", "C")
+    rows, ovcs, stats = _cold_sort(source, spec)
+    fp = fingerprint_table(source)
+    assert install_result(
+        cache, fp, spec, Table(SCHEMA, rows, spec, ovcs), stats
+    )
+
+    hit_stats = ComparisonStats()
+    outcome = serve(cache, source, spec, stats=hit_stats, config=CFG)
+    assert outcome.table is not None
+    assert outcome.label == "cache-hit(A,B,C)"
+    assert outcome.table.rows == rows
+    assert outcome.table.ovcs == ovcs
+    assert hit_stats == stats  # full counter replay, not just one field
+    cache.close()
+
+
+def test_miss_without_candidates():
+    cache = OrderCache()
+    source = _source()
+    outcome = serve(
+        cache, source, SortSpec.of("A"), stats=ComparisonStats(), config=CFG
+    )
+    assert outcome.table is None and outcome.label is None
+    assert outcome.fingerprint == fingerprint_table(source)
+    assert cache.counters()["misses"] == 1
+    cache.close()
+
+
+def test_modify_from_cached_sibling_bit_identical():
+    cache = OrderCache()
+    source = _source()
+    cached_spec = SortSpec.of("A", "B", "C")
+    rows, ovcs, stats = _cold_sort(source, cached_spec)
+    fp = fingerprint_table(source)
+    install_result(cache, fp, cached_spec, Table(SCHEMA, rows, cached_spec, ovcs), stats)
+
+    want = SortSpec.of("A", "C", "B")
+    cold_rows, cold_ovcs, _ = _cold_sort(source, want)
+    outcome = serve(
+        cache, source, want, stats=ComparisonStats(), config=CFG
+    )
+    assert outcome.table is not None
+    assert outcome.label == "modify-from-cache(A,B,C)"
+    assert outcome.table.rows == cold_rows
+    assert outcome.table.ovcs == cold_ovcs
+    # The produced order was installed for future exact hits,
+    # marked non-replayable (its counters are the modify path's).
+    entry = cache.lookup(fp, want)
+    assert entry is not None and not entry.replayable
+    cache.close()
+
+
+def test_modify_reties_against_live_sequence():
+    # Heavy full-key duplication: domain product (12) << rows (240).
+    # The cached sibling was built from a *different* arrangement, so a
+    # blind modify would leak that arrangement's tie order.
+    source = _source(n=240, domains=(2, 3, 2), seed=1)
+    shuffled = list(source.rows)
+    random.Random(99).shuffle(shuffled)
+    other = Table(SCHEMA, shuffled)
+
+    cache = OrderCache()
+    cached_spec = SortSpec.of("A", "B", "C")
+    rows, ovcs, stats = _cold_sort(other, cached_spec)
+    install_result(
+        cache, fingerprint_table(other), cached_spec,
+        Table(SCHEMA, rows, cached_spec, ovcs), stats,
+    )
+
+    want = SortSpec.of("A", "C", "B")
+    cold_rows, cold_ovcs, _ = _cold_sort(source, want)
+    outcome = serve(
+        cache, source, want, stats=ComparisonStats(), config=CFG
+    )
+    assert outcome.table is not None
+    assert outcome.label == "modify-from-cache(A,B,C)"
+    assert outcome.table.rows == cold_rows  # live arrival order in ties
+    assert outcome.table.ovcs == cold_ovcs
+    cache.close()
+
+
+def test_unrelated_candidate_is_not_used():
+    # C -> A shares no prefix and no merge structure: the estimate is a
+    # full sort, which cannot clear the win margin over the baseline.
+    cache = OrderCache()
+    source = _source()
+    cached_spec = SortSpec.of("C")
+    rows, ovcs, stats = _cold_sort(source, cached_spec)
+    fp = fingerprint_table(source)
+    install_result(
+        cache, fp, cached_spec, Table(SCHEMA, rows, cached_spec, ovcs), stats
+    )
+    outcome = serve(
+        cache, source, SortSpec.of("A"), stats=ComparisonStats(), config=CFG
+    )
+    assert outcome.table is None
+    cache.close()
+
+
+def test_ordered_source_baseline_prefers_own_order():
+    # The live input already carries a related order at least as good
+    # as any cached sibling: serve must miss so the caller's own
+    # (replayable) modify path runs.
+    source = _source()
+    spec_abc = SortSpec.of("A", "B", "C")
+    rows, ovcs, stats = _cold_sort(source, spec_abc)
+    ordered = Table(SCHEMA, rows, spec_abc, ovcs)
+
+    cache = OrderCache()
+    install_result(
+        cache, fingerprint_table(ordered), spec_abc,
+        Table(SCHEMA, rows, spec_abc, ovcs), stats,
+    )
+    outcome = serve(
+        cache, ordered, SortSpec.of("A", "C", "B"),
+        stats=ComparisonStats(), config=CFG,
+    )
+    # The only candidate is the source's own order: no win possible.
+    assert outcome.table is None
+    cache.close()
+
+
+def test_modify_result_matches_modify_sort_order_directly():
+    # The dispatcher must not change what the paper's machinery
+    # produces when the cached entry *is* the live table.
+    source = _source(seed=3)
+    spec_abc = SortSpec.of("A", "B", "C")
+    rows, ovcs, _ = _cold_sort(source, spec_abc)
+    ordered = Table(SCHEMA, rows, spec_abc, ovcs)
+    want = SortSpec.of("B", "A", "C")
+
+    expected = modify_sort_order(ordered, want, method="auto", use_ovc=True)
+
+    cache = OrderCache()
+    install_result(
+        cache, fingerprint_table(source), spec_abc, ordered,
+        ComparisonStats(),
+    )
+    outcome = serve(
+        cache, source, want, stats=ComparisonStats(), config=CFG
+    )
+    if outcome.table is not None:  # served: must equal the direct path
+        assert outcome.table.rows == expected.rows
+        assert outcome.table.ovcs == expected.ovcs
+    cache.close()
+
+
+def test_retiebreak_reorders_ties_only():
+    # rows sorted on A only; B,C vary freely inside tie groups.
+    arity = 1
+    live = [(0, "x", 1), (1, "q", 2), (0, "y", 3), (1, "p", 4)]
+    cached_order = [(0, "y", 3), (0, "x", 1), (1, "p", 4), (1, "q", 2)]
+    rows = sorted(cached_order, key=lambda r: r[0])
+    ovcs = derive_ovcs([ (r[0],) for r in rows ], (0,))
+    fixed_rows, fixed_ovcs = _retiebreak(
+        [r for r in rows], ovcs, arity,
+        [ r for r in live ],
+    )
+    # Inside each A-group the live arrival order wins.
+    assert [r[0] for r in fixed_rows] == [0, 0, 1, 1]
+    assert fixed_rows[:2] == [(0, "x", 1), (0, "y", 3)]
+    assert fixed_rows[2:] == [(1, "q", 2), (1, "p", 4)]
+    assert fixed_ovcs == ovcs  # codes untouched

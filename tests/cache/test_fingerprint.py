@@ -1,0 +1,55 @@
+"""Content fingerprints: order-insensitive identity, order-sensitive sequence."""
+
+from __future__ import annotations
+
+import random
+
+from repro.cache import fingerprint_rows, fingerprint_table
+from repro.model import Schema, Table
+
+
+SCHEMA = ("A", "B")
+
+
+def test_same_multiset_same_source_key_any_arrangement():
+    rows = [(1, 2), (3, 4), (1, 2), (5, 6)]
+    shuffled = list(rows)
+    random.Random(0).shuffle(shuffled)
+    a = fingerprint_rows(rows, SCHEMA)
+    b = fingerprint_rows(shuffled, SCHEMA)
+    assert a.source_key == b.source_key
+
+
+def test_sequence_distinguishes_arrangements():
+    rows = [(1, 2), (3, 4), (5, 6)]
+    a = fingerprint_rows(rows, SCHEMA)
+    b = fingerprint_rows(list(reversed(rows)), SCHEMA)
+    assert a.source_key == b.source_key
+    assert a.sequence != b.sequence
+
+
+def test_different_content_different_key():
+    base = fingerprint_rows([(1, 2), (3, 4)], SCHEMA)
+    assert fingerprint_rows([(1, 2), (3, 5)], SCHEMA).source_key \
+        != base.source_key
+    # A duplicate added changes the count even if sum/xor could collide.
+    assert fingerprint_rows([(1, 2), (3, 4), (3, 4)], SCHEMA).source_key \
+        != base.source_key
+    # Same rows under a different schema are a different source.
+    assert fingerprint_rows([(1, 2), (3, 4)], ("X", "Y")).source_key \
+        != base.source_key
+
+
+def test_fingerprint_table_matches_rows():
+    schema = Schema.of(*SCHEMA)
+    rows = [(i % 7, i % 3) for i in range(50)]
+    assert fingerprint_table(Table(schema, rows)) == \
+        fingerprint_rows(rows, schema.columns)
+
+
+def test_empty_and_singleton():
+    empty = fingerprint_rows([], SCHEMA)
+    assert empty.n_rows == 0
+    one = fingerprint_rows([(1, 1)], SCHEMA)
+    assert one.n_rows == 1
+    assert empty.source_key != one.source_key

@@ -128,3 +128,61 @@ def test_retry_policy_validation():
         RetryPolicy(timeout_s=-1)
     with pytest.raises(ValueError):
         RetryPolicy(retries=-2)
+
+
+# ------------------------------------------------------------ order cache
+
+
+def test_cache_defaults_off_and_validates():
+    cfg = ExecutionConfig()
+    assert cfg.cache == "off"
+    assert cfg.cache_budget is None
+    assert cfg.cache_ttl is None
+    on = ExecutionConfig(cache="on", cache_budget="8MiB", cache_ttl=60.0)
+    assert on.cache == "on"
+    assert on.cache_budget == 8 * 1024 ** 2
+    assert on.cache_ttl == 60.0
+    assert ExecutionConfig(cache="auto").cache == "auto"
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"cache": "yes"},
+        {"cache": "ON"},
+        {"cache_budget": -1},
+        {"cache_budget": "0B"},
+        {"cache_ttl": 0},
+        {"cache_ttl": -2.5},
+    ],
+)
+def test_cache_field_rejects(kwargs):
+    with pytest.raises(ValueError):
+        ExecutionConfig(**kwargs)
+
+
+def test_cache_from_env():
+    cfg = ExecutionConfig.from_env(
+        {
+            "REPRO_CACHE": "on",
+            "REPRO_CACHE_BUDGET": "2MiB",
+            "REPRO_CACHE_TTL": "30",
+        }
+    )
+    assert cfg.cache == "on"
+    assert cfg.cache_budget == 2 * 1024 ** 2
+    assert cfg.cache_ttl == 30.0
+    # 1/0 spellings and case-insensitivity.
+    assert ExecutionConfig.from_env({"REPRO_CACHE": "1"}).cache == "on"
+    assert ExecutionConfig.from_env({"REPRO_CACHE": "0"}).cache == "off"
+    assert ExecutionConfig.from_env({"REPRO_CACHE": "AUTO"}).cache == "auto"
+    with pytest.raises(ValueError):
+        ExecutionConfig.from_env({"REPRO_CACHE": "maybe"})
+
+
+def test_cache_with_derivation():
+    cfg = ExecutionConfig()
+    derived = cfg.with_(cache="on", cache_budget="1KiB")
+    assert derived.cache == "on"
+    assert derived.cache_budget == 1024
+    assert cfg.cache == "off"  # original untouched
