@@ -19,7 +19,12 @@ Regenerates the paper's measured artifacts as text tables:
   artifact (Chrome trace-event JSON by default, JSON-lines for
   ``*.jsonl`` paths), validate it, and print the stitched span tree
   plus Prometheus-format metrics;
-* ``all`` — everything above except ``bench`` and ``trace``.
+* ``serve`` — run the live telemetry endpoint (``--telemetry-port P``;
+  ``/metrics``, ``/healthz``, ``/varz``) as a standalone process:
+  ``--warm`` runs one small modify first so ``/metrics`` has non-zero
+  series, ``--duration S`` exits after S seconds (default: serve until
+  interrupted);
+* ``all`` — everything above except ``bench``, ``trace`` and ``serve``.
 
 Both bench modes verify bit-identical rows and codes in every cell and
 exit non-zero on any fidelity failure, so CI smoke runs gate
@@ -29,7 +34,11 @@ Options: ``--rows 2**N`` via ``--log2-rows N`` (default 14), ``--seed``,
 ``--workers N[,N...]`` (bench sweep / parallel execution).
 Observability: ``--trace FILE`` records spans for any experiment and
 writes the artifact; ``--metrics`` embeds per-cell metric snapshots in
-the bench artifacts (prints Prometheus text elsewhere).
+the bench artifacts (prints Prometheus text elsewhere);
+``--telemetry-port P`` serves ``/metrics`` + ``/healthz`` + ``/varz``
+live while any experiment runs (0 picks a free port); ``--profile
+FILE`` samples the run's stacks and writes a collapsed-stack
+(flamegraph) profile.
 
 Resource governance (:mod:`repro.exec`): ``--memory-budget 64MiB``
 caps the per-query buffered bytes (excess spills to disk, output
@@ -388,6 +397,51 @@ def _trace(
     return _write_trace_artifact(out, records, snapshot, meta)
 
 
+def _warm_workload(cfg: ExecutionConfig) -> None:
+    """One small Table 1 modify so a fresh telemetry process has
+    non-zero ``modify.*``/``comparisons.*`` series to scrape."""
+    from .obs import METRICS
+
+    schema = Schema.of("A", "B", "C", "D")
+    table = random_sorted_table(
+        schema, SortSpec(("A", "B", "C")), 4096,
+        domains=[32, 64, 256, 8], seed=0,
+    )
+    stats = ComparisonStats()
+    modify_sort_order(table, SortSpec(("A", "C", "B")), stats=stats, config=cfg)
+    METRICS.absorb_stats(stats)
+
+
+def _serve(args, cfg: ExecutionConfig) -> int:
+    """Run the telemetry endpoint as this process's purpose."""
+    from .obs import METRICS
+    from .obs.server import start_telemetry_server, stop_telemetry_server
+
+    if not METRICS.enabled:
+        METRICS.enable(clear=False)
+    server = start_telemetry_server(
+        port=args.telemetry_port or 0, config=cfg
+    )
+    print(
+        f"telemetry serving on {server.url} (/metrics /healthz /varz)",
+        flush=True,
+    )
+    if args.warm:
+        _warm_workload(cfg)
+        print("warmed: one Table 1 modify recorded", flush=True)
+    try:
+        if args.duration is not None:
+            time.sleep(args.duration)
+        else:
+            while True:  # pragma: no cover - interactive serve loop
+                time.sleep(3600)
+    except KeyboardInterrupt:  # pragma: no cover - operator Ctrl-C
+        pass
+    finally:
+        stop_telemetry_server()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro", description=__doc__,
@@ -395,7 +449,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=["fig10", "fig11", "table1", "design", "bench", "trace", "all"],
+        choices=[
+            "fig10", "fig11", "table1", "design", "bench", "trace",
+            "serve", "all",
+        ],
     )
     parser.add_argument("--log2-rows", type=int, default=14)
     parser.add_argument("--seed", type=int, default=0)
@@ -498,10 +555,75 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="order-cache entry lifetime (default: no expiry)",
     )
+    parser.add_argument(
+        "--telemetry-port",
+        type=int,
+        metavar="PORT",
+        default=None,
+        help="serve /metrics, /healthz and /varz on this port while the"
+        " run executes (0 picks a free port); required meaningfully by"
+        " 'serve', optional alongside any experiment",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="with 'serve': exit after this many seconds"
+        " (default: serve until interrupted)",
+    )
+    parser.add_argument(
+        "--warm",
+        action="store_true",
+        help="with 'serve': run one small Table 1 modify first so"
+        " /metrics exposes non-zero series immediately",
+    )
+    parser.add_argument(
+        "--profile",
+        metavar="FILE",
+        default=None,
+        help="sample the run's stacks (~200 Hz) and write a"
+        " collapsed-stack profile to FILE (flamegraph.pl input)",
+    )
     args = parser.parse_args(argv)
     n_rows = 1 << args.log2_rows
     cfg = _exec_config(args)
 
+    if args.experiment == "serve":
+        return _serve(args, cfg)
+
+    server = None
+    if args.telemetry_port is not None:
+        from .obs import METRICS
+        from .obs.server import start_telemetry_server
+
+        if not METRICS.enabled:
+            METRICS.enable(clear=False)
+        server = start_telemetry_server(port=args.telemetry_port, config=cfg)
+        print(
+            f"telemetry serving on {server.url} (/metrics /healthz /varz)",
+            flush=True,
+        )
+    profiler = None
+    if args.profile is not None:
+        from .obs.profile import SamplingProfiler
+
+        profiler = SamplingProfiler().start()
+    try:
+        return _dispatch(args, n_rows, cfg)
+    finally:
+        if profiler is not None:
+            profiler.stop()
+            n = profiler.write_collapsed(args.profile)
+            print(f"wrote {args.profile} ({n} samples, collapsed stacks)")
+        if server is not None:
+            from .obs.server import stop_telemetry_server
+
+            stop_telemetry_server()
+
+
+def _dispatch(args, n_rows: int, cfg: ExecutionConfig) -> int:
+    """Run the chosen experiment; shared by every main() entry path."""
     if args.experiment == "trace":
         return _trace(
             args.case, n_rows, args.seed, args.trace_workers, args.out,

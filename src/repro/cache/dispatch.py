@@ -40,7 +40,7 @@ from ..core.analysis import Strategy, analyze_order_modification
 from ..core.cost import CostModel, counts_to_structure
 from ..exec.config import ExecutionConfig
 from ..model import SortSpec, Table
-from ..obs import METRICS, TRACER
+from ..obs import LOG, METRICS, TRACER
 from ..ovc.stats import ComparisonStats
 from .fingerprint import Fingerprint, fingerprint_table
 from .store import CachedOrder, OrderCache, _offset_counts
@@ -113,10 +113,20 @@ def serve(
             METRICS.histogram("cache.hit_comparisons_saved").observe(saved)
         outcome.table = hit.as_table(source.schema)
         outcome.label = f"cache-hit({_names(spec)})"
+        if LOG.enabled:
+            LOG.event(
+                "cache.serve", decision="hit", order=_names(spec),
+                rows=len(source.rows),
+            )
         return outcome
 
     candidates = cache.candidates(fp)
     if not candidates:
+        if LOG.enabled:
+            LOG.event(
+                "cache.serve", decision="miss", order=_names(spec),
+                rows=len(source.rows), reason="no-candidates",
+            )
         return outcome
 
     n = len(source.rows)
@@ -135,17 +145,41 @@ def serve(
         if cost < best_cost:
             best, best_cost = cand, cost
     if best is None:
+        if LOG.enabled:
+            LOG.event(
+                "cache.serve", decision="miss", order=_names(spec),
+                rows=n, reason="no-candidate-beats-baseline",
+                baseline_cost=round(baseline, 1),
+                candidates=len(candidates),
+            )
         return outcome
 
     chosen = cache.fetch(fp, best.spec)
     if chosen is None:  # evicted or expired since the scan
+        if LOG.enabled:
+            LOG.event(
+                "cache.serve", decision="miss", order=_names(spec),
+                rows=n, reason="candidate-evicted",
+            )
         return outcome
 
     result = _modify_from(cache, fp, source, chosen, spec, stats, config)
     if result is None:
+        if LOG.enabled:
+            LOG.event(
+                "cache.serve", decision="miss", order=_names(spec),
+                rows=n, reason="modify-from-cache-failed",
+                candidate=_names(best.spec),
+            )
         return outcome
     outcome.table = result
     outcome.label = f"modify-from-cache({_names(best.spec)})"
+    if LOG.enabled:
+        LOG.event(
+            "cache.serve", decision="modify-from-cache",
+            order=_names(spec), candidate=_names(best.spec), rows=n,
+            est_cost=round(best_cost, 1), baseline_cost=round(baseline, 1),
+        )
     return outcome
 
 

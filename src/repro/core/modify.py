@@ -44,7 +44,7 @@ from ..exec.config import ExecutionConfig
 from ..exec.memory import MemoryAccountant, activate
 from ..exec.spill import SpillManager
 from ..model import SortSpec, Table
-from ..obs import METRICS, TRACER
+from ..obs import LOG, METRICS, SLOWLOG, TRACER
 from ..ovc.derive import project_ovcs
 from ..ovc.stats import ComparisonStats
 from ..sorting.merge import _key_projector
@@ -125,20 +125,37 @@ def modify_sort_order(
     if table.sort_spec is None:
         raise ValueError("input table must declare its sort order")
     new_spec = new_order if isinstance(new_order, SortSpec) else SortSpec(new_order)
-    with TRACER.span(
-        "modify",
-        rows=len(table.rows),
-        method=method,
-        engine=cfg.engine,
-        use_ovc=use_ovc,
-        governed=cfg.governed,
-    ):
-        if not cfg.governed:
-            return _modify(table, new_spec, method, use_ovc, stats, cfg, None)
-        accountant = MemoryAccountant(cfg.memory_budget)
-        with SpillManager(cfg.spill_dir) as spill, activate(accountant):
-            sink = GovernedSink(accountant, spill)
-            return _modify(table, new_spec, method, use_ovc, stats, cfg, sink)
+    with LOG.query_scope():
+        mark = SLOWLOG.mark()
+        with TRACER.span(
+            "modify",
+            rows=len(table.rows),
+            method=method,
+            engine=cfg.engine,
+            use_ovc=use_ovc,
+            governed=cfg.governed,
+        ):
+            if not cfg.governed:
+                result = _modify(table, new_spec, method, use_ovc, stats, cfg, None)
+            else:
+                accountant = MemoryAccountant(cfg.memory_budget)
+                with SpillManager(cfg.spill_dir) as spill, activate(accountant):
+                    sink = GovernedSink(accountant, spill)
+                    result = _modify(
+                        table, new_spec, method, use_ovc, stats, cfg, sink
+                    )
+        if mark is not None:
+            # Slow path only: the structural strategy is a cheap pure
+            # function of the two specs.
+            strategy = method
+            if method == "auto":
+                plan = analyze_order_modification(table.sort_spec, new_spec)
+                strategy = plan.strategy.name.lower()
+            SLOWLOG.record(
+                mark, "modify", strategy=strategy, stats=stats,
+                rows=len(table.rows),
+            )
+        return result
 
 
 def _modify(
@@ -181,6 +198,16 @@ def _modify(
 
     strategy = _resolve_strategy(plan, method, table, stats)
     TRACER.annotate(strategy=strategy.name.lower())
+    if LOG.enabled:
+        LOG.event(
+            "modify.strategy",
+            strategy=strategy.name.lower(),
+            method=method,
+            rows=len(table.rows),
+            engine=cfg.engine,
+            prefix_len=plan.prefix_len,
+            merge_len=plan.merge_len,
+        )
 
     rows, ovcs = table.rows, table.ovcs
     n = len(rows)

@@ -50,6 +50,7 @@ from typing import Iterator
 from ..exec.compat import resolve_config
 from ..exec.config import ExecutionConfig
 from ..model import SortSpec, Table
+from ..obs import LOG, SLOWLOG
 from ..core.modify import modify_sort_order
 from ..sorting.external import ExternalMergeSort
 from ..sorting.internal import tournament_sort
@@ -135,6 +136,24 @@ class Sort(Operator):
                 cache, self._cache_fp, self._spec, result, delta
             )
 
+    def _observe(self, mark, before) -> None:
+        """Close this sort's slowlog watch and log the decision.
+
+        Called once per executed (non-passthrough) path, after the
+        heavy work and before emission — what the threshold times is
+        the sort, not the consumer.
+        """
+        if LOG.enabled:
+            LOG.event(
+                "sort.executed",
+                executed=self.executed,
+                strategy=self.order_strategy,
+            )
+        SLOWLOG.record(
+            mark, "sort", strategy=self.order_strategy,
+            stats=self.stats - before,
+        )
+
     def __iter__(self) -> Iterator[tuple[tuple, tuple | None]]:
         child = self._child
         if child.ordering is not None and child.ordering.satisfies(self._spec):
@@ -150,6 +169,8 @@ class Sort(Operator):
                     yield row, ovc
             return
 
+        mark = SLOWLOG.mark()
+        mark_before = self.stats.snapshot()
         cache = self._cache()
 
         if child.ordering is not None:
@@ -157,6 +178,7 @@ class Sort(Operator):
             if cache is not None and table.ovcs is not None:
                 served = self._serve(cache, table)
                 if served is not None:
+                    self._observe(mark, mark_before)
                     yield from _emit(served)
                     return
             before = self.stats.snapshot()
@@ -175,6 +197,7 @@ class Sort(Operator):
                 f"modify({','.join(str(c) for c in child.ordering)})"
             )
             self._install(cache, result, self.stats - before)
+            self._observe(mark, mark_before)
             yield from _emit(result)
             return
 
@@ -194,12 +217,14 @@ class Sort(Operator):
             self.executed = "external_sort"
             self.order_strategy = "external-sort"
             self.stats.merge(result.total_stats)
+            self._observe(mark, mark_before)
             yield from zip(result.rows, result.ovcs or (None,) * len(result.rows))
             return
 
         if cache is not None:
             served = self._serve(cache, Table(self.schema, rows))
             if served is not None:
+                self._observe(mark, mark_before)
                 yield from _emit(served)
                 return
 
@@ -218,6 +243,7 @@ class Sort(Operator):
                 Table(self.schema, sorted_rows, self._spec, ovcs),
                 ComparisonStats(),
             )
+            self._observe(mark, mark_before)
             yield from zip(sorted_rows, ovcs)
             return
 
@@ -237,6 +263,7 @@ class Sort(Operator):
                 Table(self.schema, sorted_rows, self._spec, ovcs),
                 self.stats - before,
             )
+        self._observe(mark, mark_before)
         if ovcs is None:
             for row in sorted_rows:
                 yield row, None

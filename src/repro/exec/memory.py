@@ -24,7 +24,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator
 
-from ..obs import METRICS
+from ..obs import LOG, METRICS
 
 #: The process's active accountant (``None`` outside governed queries).
 _CURRENT: "MemoryAccountant | None" = None
@@ -63,7 +63,9 @@ class MemoryAccountant:
     sub-budgets.
     """
 
-    __slots__ = ("budget", "used", "peak", "by_category", "spill_count")
+    __slots__ = (
+        "budget", "used", "peak", "by_category", "spill_count", "_over",
+    )
 
     def __init__(self, budget: int | None) -> None:
         if budget is not None and budget <= 0:
@@ -75,6 +77,10 @@ class MemoryAccountant:
         #: Spills triggered under this accountant (bumped by the owners
         #: of spilled memory, e.g. :class:`repro.exec.buffers.GovernedSink`).
         self.spill_count = 0
+        #: Whether the last charge/release left us over budget — tracked
+        #: so pressure *transitions* (not every over-budget charge) are
+        #: observable.
+        self._over = False
 
     # ---------------------------------------------------------- charging
 
@@ -91,6 +97,17 @@ class MemoryAccountant:
         if METRICS.enabled:
             METRICS.counter("exec.mem.charged_bytes").inc(n_bytes)
             METRICS.gauge("exec.mem.used_bytes").set(self.used)
+        if not self._over and self.over_budget():
+            self._over = True
+            if METRICS.enabled:
+                METRICS.counter("exec.mem.pressure_events").inc()
+            if LOG.enabled:
+                LOG.event(
+                    "exec.mem.pressure",
+                    used_bytes=self.used,
+                    budget_bytes=self.budget,
+                    category=category,
+                )
 
     def release(self, category: str, n_bytes: int) -> None:
         """Return ``n_bytes`` previously charged to ``category``."""
@@ -99,6 +116,8 @@ class MemoryAccountant:
         self.used = max(0, self.used - n_bytes)
         held = self.by_category.get(category, 0)
         self.by_category[category] = max(0, held - n_bytes)
+        if self._over and not self.over_budget():
+            self._over = False
         if METRICS.enabled:
             METRICS.gauge("exec.mem.used_bytes").set(self.used)
 

@@ -23,7 +23,7 @@ import shutil
 import tempfile
 import uuid
 
-from ..obs import METRICS, TRACER
+from ..obs import LOG, METRICS, TRACER
 
 
 class SpillHandle:
@@ -101,6 +101,13 @@ class SpillManager:
         if METRICS.enabled:
             METRICS.counter("exec.spill.runs").inc()
             METRICS.counter("exec.spill.bytes_written").inc(n_bytes)
+        if LOG.enabled:
+            LOG.event(
+                "exec.spill",
+                rows=len(rows),
+                bytes=n_bytes,
+                category=category,
+            )
         return SpillHandle(self, path, len(rows), n_bytes, category)
 
     def cleanup(self) -> None:

@@ -12,7 +12,16 @@ one way to say where the work went:
   :class:`~repro.ovc.stats.ComparisonStats`, merged across worker
   processes;
 * :mod:`repro.obs.exporters` — JSON-lines, Chrome trace-event (loads
-  in Perfetto), Prometheus text exposition, and a human tree view.
+  in Perfetto), Prometheus text exposition, and a human tree view;
+* :data:`LOG` (:mod:`repro.obs.logging`) — structured JSON-lines
+  events with query-id/span-id correlation;
+* :data:`SLOWLOG` (:mod:`repro.obs.slowlog`) — threshold-gated
+  slow-query captures (strategy, span tree, comparison counters);
+* :mod:`repro.obs.server` — the live ``/metrics`` + ``/healthz`` +
+  ``/varz`` HTTP endpoint (:func:`~repro.obs.server.
+  start_telemetry_server`);
+* :mod:`repro.obs.profile` — a dependency-free sampling profiler with
+  collapsed-stack (flamegraph) export.
 
 Quick use::
 
@@ -24,13 +33,17 @@ Quick use::
     print(render_tree(TRACER.records))
     write_chrome_trace("trace.json", TRACER.drain(), METRICS.as_dict())
 
-Environment knobs: ``REPRO_TRACE=1`` / ``REPRO_METRICS=1`` enable
-collection at import; the CLI flags ``--trace FILE`` / ``--metrics``
-(``python -m repro bench``, ``python -m repro trace``) do the same per
-run and export the artifacts.
+Environment knobs: ``REPRO_TRACE=1`` / ``REPRO_METRICS=1`` /
+``REPRO_LOG=PATH`` / ``REPRO_SLOWLOG_MS=N`` enable collection at
+import; the CLI flags ``--trace FILE`` / ``--metrics`` / ``--profile
+FILE`` / ``--telemetry-port P`` (``python -m repro bench``, ``python
+-m repro trace``, ``python -m repro serve``) do the same per run and
+export the artifacts.
 """
 
+from .logging import LOG, StructuredLogger
 from .metrics import METRICS, Counter, Gauge, Histogram, MetricsRegistry
+from .slowlog import SLOWLOG, SlowQueryLog
 from .spans import NULL_SPAN, TRACER, Tracer
 
 __all__ = [
@@ -42,4 +55,8 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LOG",
+    "StructuredLogger",
+    "SLOWLOG",
+    "SlowQueryLog",
 ]

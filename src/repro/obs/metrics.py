@@ -25,24 +25,61 @@ Like the tracer, the registry is off by default and every hot call site
 gates on :attr:`MetricsRegistry.enabled`, so the disabled cost is one
 attribute check.
 
-Well-known names grown so far (beyond the ``ovc.*`` comparison
-counters): the pool's phase accounting ``pool.pack_seconds`` /
-``pool.compute_seconds`` / ``pool.ipc_seconds`` / ``pool.ipc_bytes``,
-the shared-memory data plane's ``pool.shm_blocks`` /
-``pool.shm_bytes``, the adaptive dispatcher's ``pool.adaptive_serial``
-(auto stayed serial below the calibrated break-even), and the
-``calibrate.*`` gauges (``kernel_ns_row``, ``pickle_ns_row``,
-``plane_ns_row``, ``min_parallel_rows_w2``, ``chunk_rows``) recording
-what the per-host calibration measured and derived.
+Name registry
+-------------
 
-The order cache (:mod:`repro.cache`) publishes under ``cache.*``:
-counters ``cache.hits`` / ``cache.misses`` / ``cache.installs`` /
-``cache.evictions`` / ``cache.expirations`` / ``cache.spills`` /
-``cache.rehydrates`` / ``cache.rejected`` / ``cache.modify_serves``
-(related order produced by modifying a cached one) /
-``cache.comparisons_saved`` (column comparisons avoided by exact
-hits), gauges ``cache.bytes_resident`` / ``cache.entries``, and the
-per-hit ``cache.hit_comparisons_saved`` histogram.
+Every metric name bumped anywhere in ``src/`` is listed here (a test
+greps the source and checks this docstring, so the registry cannot
+drift).  Counters:
+
+* ``adjust.derived_codes`` / ``adjust.saved_run_heads`` — OVC
+  adjustment economy in merge-of-runs.
+* ``cache.hits`` / ``cache.misses`` / ``cache.installs`` /
+  ``cache.evictions`` / ``cache.expirations`` / ``cache.spills`` /
+  ``cache.rehydrates`` / ``cache.rejected`` — order-cache lifecycle;
+  ``cache.modify_serves`` (related order produced by modifying a
+  cached one) and ``cache.comparisons_saved`` (column comparisons
+  avoided by exact hits).
+* ``exec.fan_in_reduced`` — merges split to honor ``max_fan_in``.
+* ``exec.mem.charged_bytes`` / ``exec.mem.spills`` /
+  ``exec.mem.pressure_events`` — memory-accountant activity.
+* ``exec.spill.runs`` / ``exec.spill.bytes_written`` /
+  ``exec.spill.bytes_read`` — spill-file traffic.
+* ``extsort.respilled_rows`` — external-sort rows spilled again.
+* ``log.events`` — structured-log lines emitted.
+* ``merge.degraded_merges`` — merges that fell back to column compares.
+* ``pool.pack_seconds`` / ``pool.compute_seconds`` /
+  ``pool.ipc_seconds`` / ``pool.ipc_bytes`` — pool phase accounting;
+  ``pool.backpressure_wait_seconds`` — producer stalls;
+  ``pool.shard_retries`` / ``pool.shard_degraded`` — fault recovery;
+  ``pool.shm_blocks`` / ``pool.shm_bytes`` — shared-memory data plane;
+  ``pool.adaptive_serial`` — auto dispatch stayed serial below the
+  calibrated break-even.
+* ``profile.samples`` — stacks collected by the sampling profiler.
+* ``server.requests`` / ``server.errors`` — telemetry-endpoint traffic.
+* ``slowlog.entries`` — slow-query captures.
+
+Gauges:
+
+* ``cache.bytes_resident`` / ``cache.entries`` — order-cache footprint.
+* ``calibrate.kernel_ns_row`` / ``calibrate.pickle_ns_row`` /
+  ``calibrate.plane_ns_row`` / ``calibrate.min_parallel_rows_w2`` /
+  ``calibrate.chunk_rows`` — what per-host calibration measured.
+* ``exec.mem.used_bytes`` / ``exec.mem.peak_bytes`` — accountant level.
+* ``pool.inflight_shards`` / ``pool.reorder_buffered_rows`` — pool
+  depth and reorder-buffer size.
+* ``streaming.buffered_rows`` — streaming-merge buffer depth.
+
+Histograms:
+
+* ``cache.hit_comparisons_saved`` — per-hit savings distribution.
+* ``extsort.fan_in`` / ``extsort.run_rows`` — external-sort shape.
+* ``merge.fan_in`` / ``merge.run_rows`` — merge-of-runs shape.
+* ``modify.segment_rows`` / ``segment.rows`` — segment-sort sizes.
+
+The ``comparisons.*`` family is dynamic (one counter per
+:class:`~repro.ovc.stats.ComparisonStats` field via
+:meth:`MetricsRegistry.absorb_stats`).
 """
 
 from __future__ import annotations
@@ -160,12 +197,18 @@ class MetricsRegistry:
             self.counter(prefix + name).inc(value)
 
     def as_dict(self) -> dict:
-        """Picklable/JSON-ready snapshot of every metric."""
+        """Picklable/JSON-ready snapshot of every metric.
+
+        Safe to call from a scraper thread while instrumented code
+        keeps bumping: each dict (and each histogram's buckets) is
+        pinned with ``list()`` before iteration, so a concurrent
+        create-on-demand insert can never blow up the snapshot.
+        """
         return {
-            "counters": {k: c.value for k, c in self._counters.items()},
+            "counters": {k: c.value for k, c in list(self._counters.items())},
             "gauges": {
                 k: {"value": g.value, "max": g.max}
-                for k, g in self._gauges.items()
+                for k, g in list(self._gauges.items())
             },
             "histograms": {
                 k: {
@@ -173,9 +216,12 @@ class MetricsRegistry:
                     "sum": h.total,
                     "min": h.min,
                     "max": h.max,
-                    "buckets": {str(b): n for b, n in sorted(h.buckets.items())},
+                    "buckets": {
+                        str(b): n
+                        for b, n in sorted(list(h.buckets.items()))
+                    },
                 }
-                for k, h in self._histograms.items()
+                for k, h in list(self._histograms.items())
             },
         }
 

@@ -26,6 +26,7 @@ order shards finished in.
 from __future__ import annotations
 
 from ..exec import memory
+from ..obs import LOG
 from ..ovc.stats import ComparisonStats
 from .shm import PlaneSlice
 
@@ -88,6 +89,12 @@ class OrderedCollector:
         kind = message[0]
         if kind == "error":
             _, shard, tb = message
+            if LOG.enabled:
+                LOG.event(
+                    "pool.shard_error",
+                    shard=shard,
+                    reason=tb.splitlines()[-1][:200] if tb else None,
+                )
             raise ShardError(shard, tb)
         _, shard, seq, rows, ovcs, last, counters, telemetry = message
         if counters is not None:

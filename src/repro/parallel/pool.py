@@ -52,7 +52,7 @@ from typing import Iterable, Iterator
 
 from ..exec import memory
 from ..exec.config import RetryPolicy
-from ..obs import METRICS, TRACER
+from ..obs import LOG, METRICS, TRACER
 from . import calibrate
 from .collector import Chunk, OrderedCollector, ShardError
 from .shm import PlaneBuffers, PlaneSlice
@@ -595,6 +595,13 @@ class ShardExecutor:
             self.retried_shards += 1
             if METRICS.enabled:
                 METRICS.counter("pool.shard_retries").inc()
+            if LOG.enabled:
+                LOG.event(
+                    "pool.shard_retry",
+                    shard=shard,
+                    attempt=st.attempt,
+                    reason=reason.splitlines()[0][:200],
+                )
             with TRACER.span(
                 "pool.shard_retry",
                 shard=shard,
@@ -617,6 +624,14 @@ class ShardExecutor:
         self.degraded_shards += 1
         if METRICS.enabled:
             METRICS.counter("pool.shard_degraded").inc()
+        if LOG.enabled:
+            LOG.event(
+                "pool.shard_quarantined",
+                shard=shard,
+                rows=st.n_rows,
+                failures=st.failures,
+                reason=reason.splitlines()[0][:200],
+            )
         in_rows = self._plane_rows[st.lo : st.hi] if plane else st.rows
         in_ovcs = self._plane_ovcs[st.lo : st.hi] if plane else st.ovcs
         with TRACER.span(

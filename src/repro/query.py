@@ -34,6 +34,7 @@ from .engine.sort_op import Sort
 from .exec.compat import resolve_config
 from .exec.config import ExecutionConfig
 from .model import SortSpec, Table
+from .obs import LOG, SLOWLOG
 
 
 class Query:
@@ -195,16 +196,53 @@ class Query:
     # ------------------------------------------------------- terminals
 
     def rows(self) -> list[tuple]:
-        return self._op.rows()
+        with LOG.query_scope():
+            mark = SLOWLOG.mark()
+            result = self._op.rows()
+            self._observe(mark, "query.rows", len(result))
+            return result
 
     def to_table(self) -> Table:
-        return self._op.to_table()
+        with LOG.query_scope():
+            mark = SLOWLOG.mark()
+            result = self._op.to_table()
+            self._observe(mark, "query.to_table", len(result.rows))
+            return result
+
+    def _observe(self, mark, kind: str, n_rows: int) -> None:
+        """Close the terminal's slowlog watch and log the execution.
+
+        ``order_strategy`` reports every Sort node's resolved strategy
+        (operators record it during iteration), joined in plan order.
+        """
+        if mark is None and not LOG.enabled:
+            return
+        strategies = _sort_strategies(self._op)
+        strategy = ",".join(strategies) if strategies else None
+        if LOG.enabled:
+            LOG.event(kind, rows=n_rows, strategy=strategy)
+        SLOWLOG.record(
+            mark, kind, strategy=strategy, stats=self._op.stats, rows=n_rows
+        )
 
     def explain(self) -> str:
         return self._op.explain()
 
     def __iter__(self):
         return iter(self._op)
+
+
+def _sort_strategies(op: Operator) -> list[str]:
+    """Every executed Sort's ``order_strategy``, depth-first plan order."""
+    out: list[str] = []
+    stack = [op]
+    while stack:
+        node = stack.pop()
+        strategy = getattr(node, "order_strategy", None)
+        if strategy is not None:
+            out.append(strategy)
+        stack.extend(reversed(node._children()))
+    return out
 
 
 def _as_op(other: "Query | Table") -> Operator:

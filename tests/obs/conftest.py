@@ -1,21 +1,25 @@
-"""Shared fixture: leave the global tracer/registry as we found them."""
+"""Shared fixture: leave the global observability singletons as found."""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.obs import METRICS, TRACER
+from repro.obs import LOG, METRICS, SLOWLOG, TRACER
+
+
+def _reset_all():
+    TRACER.disable()
+    TRACER.reset()
+    METRICS.disable()
+    METRICS.reset()
+    LOG.disable()
+    SLOWLOG.disable()
+    SLOWLOG.clear()
 
 
 @pytest.fixture(autouse=True)
 def clean_observability():
-    """Disable and reset the process-wide tracer/registry around each test."""
-    TRACER.disable()
-    TRACER.reset()
-    METRICS.disable()
-    METRICS.reset()
+    """Disable and reset the process-wide singletons around each test."""
+    _reset_all()
     yield
-    TRACER.disable()
-    TRACER.reset()
-    METRICS.disable()
-    METRICS.reset()
+    _reset_all()

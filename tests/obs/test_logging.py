@@ -1,0 +1,142 @@
+"""Structured logging: JSON-lines shape, correlation, and wiring."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.core.modify import modify_sort_order
+from repro.model import Schema, SortSpec
+from repro.obs import LOG, METRICS, TRACER
+from repro.obs.logging import read_log
+from repro.query import Query
+from repro.workloads.generators import random_sorted_table
+
+SCHEMA = Schema.of("A", "B", "C")
+
+
+def _table(n_rows=300, seed=0):
+    return random_sorted_table(
+        SCHEMA, SortSpec.of("A", "B"), n_rows, domains=[8, 16, 32], seed=seed
+    )
+
+
+def test_disabled_logger_emits_nothing(tmp_path):
+    path = tmp_path / "log.jsonl"
+    LOG.event("never", value=1)
+    assert not path.exists()
+    assert LOG.path is None
+
+
+def test_events_are_json_lines_with_envelope(tmp_path):
+    path = str(tmp_path / "log.jsonl")
+    LOG.enable(path)
+    LOG.event("unit.test", answer=42, name="x")
+    LOG.disable()
+    events = read_log(path)
+    assert len(events) == 1
+    (ev,) = events
+    assert ev["event"] == "unit.test"
+    assert ev["answer"] == 42
+    assert ev["name"] == "x"
+    assert ev["pid"] > 0
+    assert ev["ts"] > 0
+
+
+def test_non_json_values_are_stringified():
+    sink = io.StringIO()
+    LOG.enable(sink)
+    LOG.event("unit.test", spec=SortSpec.of("A", "B"))
+    LOG.disable()
+    ev = json.loads(sink.getvalue())
+    assert isinstance(ev["spec"], str)
+
+
+def test_stream_target_is_not_closed_on_disable():
+    sink = io.StringIO()
+    LOG.enable(sink)
+    LOG.event("one")
+    LOG.disable()
+    assert not sink.closed
+    assert json.loads(sink.getvalue())["event"] == "one"
+
+
+def test_broken_sink_disables_logger_instead_of_raising():
+    sink = io.StringIO()
+    LOG.enable(sink)
+    sink.close()
+    LOG.event("after.close")  # must not raise
+    assert LOG.enabled is False
+
+
+def test_query_scope_allocates_and_nests():
+    sink = io.StringIO()
+    LOG.enable(sink)
+    assert LOG.current_query_id() is None
+    with LOG.query_scope() as outer:
+        assert outer is not None
+        assert LOG.current_query_id() == outer
+        with LOG.query_scope() as inner:
+            assert inner == outer
+    assert LOG.current_query_id() is None
+    with LOG.query_scope() as second:
+        assert second != outer
+    LOG.disable()
+
+
+def test_query_scope_is_noop_while_disabled():
+    with LOG.query_scope() as qid:
+        assert qid is None
+    assert LOG.current_query_id() is None
+
+
+def test_event_carries_qid_and_span():
+    sink = io.StringIO()
+    LOG.enable(sink)
+    TRACER.enable(clear=True)
+    with LOG.query_scope() as qid:
+        with TRACER.span("outer"):
+            LOG.event("inside")
+    TRACER.disable()
+    LOG.disable()
+    ev = json.loads(sink.getvalue().splitlines()[-1])
+    assert ev["qid"] == qid
+    assert ev["span_name"] == "outer"
+    assert "span" in ev
+
+
+def test_modify_logs_strategy_decision(tmp_path):
+    path = str(tmp_path / "log.jsonl")
+    LOG.enable(path)
+    modify_sort_order(_table(), SortSpec.of("A"))
+    LOG.disable()
+    events = [e for e in read_log(path) if e["event"] == "modify.strategy"]
+    assert len(events) == 1
+    (ev,) = events
+    assert ev["strategy"] in (
+        "noop", "segment_sort", "merge_runs", "combined", "full_sort"
+    )
+    assert ev["rows"] == 300
+    assert "qid" in ev
+
+
+def test_query_events_share_one_qid(tmp_path):
+    path = str(tmp_path / "log.jsonl")
+    LOG.enable(path)
+    Query(_table()).order_by("A").rows()
+    LOG.disable()
+    events = read_log(path)
+    qids = {e.get("qid") for e in events}
+    assert len(qids) == 1 and None not in qids
+    names = {e["event"] for e in events}
+    assert "query.rows" in names
+
+
+def test_log_events_counter_bumps():
+    METRICS.enable(clear=True)
+    sink = io.StringIO()
+    LOG.enable(sink)
+    LOG.event("a")
+    LOG.event("b")
+    LOG.disable()
+    assert METRICS.as_dict()["counters"]["log.events"] == 2

@@ -1,0 +1,101 @@
+"""Sampling profiler: collapsed stacks, modes, lifecycle."""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.obs import METRICS
+from repro.obs.profile import SamplingProfiler, read_collapsed
+
+
+def _busy(seconds: float) -> None:
+    deadline = time.perf_counter() + seconds
+    while time.perf_counter() < deadline:
+        sum(i * i for i in range(200))
+
+
+def test_thread_mode_collects_samples():
+    with SamplingProfiler(interval_s=0.001) as prof:
+        _busy(0.15)
+    assert prof.n_samples > 0
+    collapsed = prof.collapsed()
+    assert collapsed
+    line = collapsed.splitlines()[0]
+    stack, count = line.rsplit(" ", 1)
+    assert int(count) >= 1
+    assert ";" in stack or ":" in stack
+
+
+def test_samples_reach_the_busy_function():
+    with SamplingProfiler(interval_s=0.001) as prof:
+        _busy(0.2)
+    assert "_busy" in prof.collapsed()
+
+
+def test_write_and_read_collapsed_round_trip(tmp_path):
+    path = str(tmp_path / "profile.folded")
+    with SamplingProfiler(interval_s=0.001) as prof:
+        _busy(0.1)
+    n = prof.write_collapsed(path)
+    assert n == prof.n_samples
+    stacks = read_collapsed(path)
+    assert sum(stacks.values()) == n
+    assert all(isinstance(k, tuple) for k in stacks)
+
+
+def test_top_reports_leaf_counts():
+    with SamplingProfiler(interval_s=0.001) as prof:
+        _busy(0.15)
+    top = prof.top(3)
+    assert top
+    assert top == sorted(top, key=lambda kv: -kv[1])
+
+
+def test_start_stop_idempotent():
+    prof = SamplingProfiler(interval_s=0.001)
+    prof.start()
+    prof.start()
+    _busy(0.05)
+    prof.stop()
+    prof.stop()
+    assert prof.n_samples >= 0
+
+
+def test_profile_samples_counter_bumps():
+    METRICS.enable(clear=True)
+    with SamplingProfiler(interval_s=0.001):
+        _busy(0.1)
+    counters = METRICS.as_dict()["counters"]
+    assert counters.get("profile.samples", 0) > 0
+
+
+def test_all_threads_mode_sees_worker_thread():
+    stop = threading.Event()
+    worker = threading.Thread(target=lambda: _busy(0.5) or stop.set())
+    worker.start()
+    try:
+        with SamplingProfiler(interval_s=0.001, all_threads=True) as prof:
+            _busy(0.15)
+    finally:
+        worker.join()
+    assert prof.n_samples > 0
+
+
+@pytest.mark.skipif(
+    not hasattr(__import__("signal"), "SIGPROF") or sys.platform == "win32",
+    reason="signal mode needs SIGPROF",
+)
+def test_signal_mode_collects_samples():
+    with SamplingProfiler(interval_s=0.001, mode="signal") as prof:
+        _busy(0.15)
+    assert prof.n_samples > 0
+    assert prof.collapsed()
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError):
+        SamplingProfiler(mode="quantum")

@@ -1,0 +1,146 @@
+"""Telemetry HTTP server: endpoints, snapshots, lifecycle."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.exec import ExecutionConfig
+from repro.obs import METRICS, SLOWLOG, TRACER
+from repro.obs.exporters import validate_prometheus_text
+from repro.obs.server import (
+    TelemetryServer,
+    health_snapshot,
+    start_telemetry_server,
+    stop_telemetry_server,
+    varz_snapshot,
+)
+
+
+@pytest.fixture
+def server():
+    srv = TelemetryServer(port=0, config=ExecutionConfig())
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=5) as resp:
+        return resp.status, resp.headers.get("Content-Type", ""), resp.read()
+
+
+def test_metrics_endpoint_serves_prometheus_text(server):
+    METRICS.enable(clear=True)
+    METRICS.counter("cache.hits").inc(3)
+    status, ctype, body = _get(server.url + "/metrics")
+    assert status == 200
+    assert ctype.startswith("text/plain")
+    assert "version=0.0.4" in ctype
+    text = body.decode("utf-8")
+    assert "cache_hits" in text
+    assert validate_prometheus_text(text) == []
+
+
+def test_metrics_endpoint_with_registry_disabled(server):
+    status, _, body = _get(server.url + "/metrics")
+    assert status == 200
+    assert b"registry" in body  # explanatory comment, not an error
+
+
+def test_healthz_reports_ok(server):
+    status, ctype, body = _get(server.url + "/healthz")
+    assert status == 200
+    assert "json" in ctype
+    health = json.loads(body)
+    assert health["status"] == "ok"
+    assert health["degraded_checks"] == []
+    assert "pool" in health["checks"]
+    assert "memory" in health["checks"]
+    assert "cache" in health["checks"]
+
+
+def test_varz_exposes_config_metrics_and_health(server):
+    METRICS.enable(clear=True)
+    METRICS.counter("pool.shard_retries").inc()
+    status, _, body = _get(server.url + "/varz")
+    assert status == 200
+    varz = json.loads(body)
+    assert varz["pid"] > 0
+    assert "engine" in varz["config"]
+    assert varz["metrics"]["counters"]["pool.shard_retries"] == 1
+    assert varz["health"]["status"] in ("ok", "degraded")
+
+
+def test_index_lists_endpoints(server):
+    status, _, body = _get(server.url + "/")
+    assert status == 200
+    for endpoint in (b"/metrics", b"/healthz", b"/varz"):
+        assert endpoint in body
+
+
+def test_unknown_path_is_404(server):
+    with pytest.raises(urllib.error.HTTPError) as err:
+        _get(server.url + "/nope")
+    assert err.value.code == 404
+
+
+def test_request_counter_bumps(server):
+    METRICS.enable(clear=True)
+    _get(server.url + "/healthz")
+    _get(server.url + "/healthz")
+    assert METRICS.as_dict()["counters"]["server.requests"] >= 2
+
+
+def test_health_snapshot_degrades_on_quarantined_shard():
+    METRICS.enable(clear=True)
+    METRICS.counter("pool.shard_degraded").inc()
+    health = health_snapshot()
+    assert health["status"] == "degraded"
+    assert "pool" in health["degraded_checks"]
+    assert health["checks"]["pool"]["shard_degraded"] >= 1
+
+
+def test_varz_snapshot_includes_slowlog_tail():
+    SLOWLOG.enable(0)
+    SLOWLOG.record(SLOWLOG.mark(), "modify", strategy="combined")
+    varz = varz_snapshot(ExecutionConfig())
+    assert varz["slowlog"]["enabled"] is True
+    assert varz["slowlog"]["entries"][-1]["order_strategy"] == "combined"
+
+
+def test_varz_snapshot_reports_open_spans():
+    TRACER.enable(clear=True)
+    with TRACER.span("outer"):
+        varz = varz_snapshot(None)
+        assert varz["spans"]["enabled"] is True
+        assert [s["name"] for s in varz["spans"]["open"]] == ["outer"]
+    TRACER.disable()
+
+
+def test_start_telemetry_server_is_idempotent():
+    first = start_telemetry_server(port=0)
+    try:
+        second = start_telemetry_server(port=0)
+        assert first is second
+        status, _, _ = _get(first.url + "/healthz")
+        assert status == 200
+    finally:
+        stop_telemetry_server()
+    # Once stopped, a new singleton can be started on a fresh port.
+    third = start_telemetry_server(port=0)
+    try:
+        assert third is not first
+    finally:
+        stop_telemetry_server()
+
+
+def test_context_manager_lifecycle():
+    with TelemetryServer(port=0) as srv:
+        assert srv.running
+        status, _, _ = _get(srv.url + "/healthz")
+        assert status == 200
+    assert not srv.running

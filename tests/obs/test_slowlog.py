@@ -1,0 +1,148 @@
+"""Slow-query log: thresholds, captured forensics, and wiring."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.core.modify import modify_sort_order
+from repro.model import Schema, SortSpec
+from repro.obs import METRICS, SLOWLOG, TRACER
+from repro.obs.slowlog import span_tree
+from repro.ovc.stats import ComparisonStats
+from repro.query import Query
+from repro.workloads.generators import random_sorted_table
+
+SCHEMA = Schema.of("A", "B", "C")
+
+
+def _table(n_rows=300, seed=0):
+    return random_sorted_table(
+        SCHEMA, SortSpec.of("A", "B"), n_rows, domains=[8, 16, 32], seed=seed
+    )
+
+
+def test_disabled_mark_is_none_and_record_noops():
+    assert SLOWLOG.mark() is None
+    assert SLOWLOG.record(None, "modify") is None
+    assert len(SLOWLOG.entries) == 0
+
+
+def test_threshold_zero_captures_everything():
+    SLOWLOG.enable(0)
+    mark = SLOWLOG.mark()
+    entry = SLOWLOG.record(mark, "modify", strategy="combined", rows=7)
+    assert entry is not None
+    assert entry["kind"] == "modify"
+    assert entry["order_strategy"] == "combined"
+    assert entry["rows"] == 7
+    assert entry["elapsed_ms"] >= 0
+    assert list(SLOWLOG.entries) == [entry]
+
+
+def test_fast_executions_below_threshold_are_not_captured():
+    SLOWLOG.enable(10_000)  # 10s: nothing in tests is that slow
+    mark = SLOWLOG.mark()
+    assert SLOWLOG.record(mark, "modify") is None
+    assert len(SLOWLOG.entries) == 0
+
+
+def test_slow_execution_over_threshold_is_captured():
+    SLOWLOG.enable(5)
+    mark = SLOWLOG.mark()
+    time.sleep(0.02)
+    entry = SLOWLOG.record(mark, "query.rows")
+    assert entry is not None
+    assert entry["elapsed_ms"] >= 5
+
+
+def test_capture_embeds_comparison_stats_delta():
+    SLOWLOG.enable(0)
+    stats = ComparisonStats()
+    stats.row_comparisons += 5
+    mark = SLOWLOG.mark()
+    entry = SLOWLOG.record(mark, "sort", stats=stats)
+    assert entry["comparisons"]["row_comparisons"] == 5
+
+
+def test_capture_embeds_span_tree_when_tracing():
+    TRACER.enable(clear=True)
+    SLOWLOG.enable(0)
+    mark = SLOWLOG.mark()
+    with TRACER.span("modify", rows=3):
+        with TRACER.span("modify.segment"):
+            pass
+    entry = SLOWLOG.record(mark, "modify")
+    TRACER.disable()
+    (root,) = entry["phases"]
+    assert root["name"] == "modify"
+    assert root["children"][0]["name"] == "modify.segment"
+
+
+def test_file_sink_writes_json_lines(tmp_path):
+    path = tmp_path / "slow.jsonl"
+    SLOWLOG.enable(0, path=str(path))
+    SLOWLOG.record(SLOWLOG.mark(), "modify", strategy="noop")
+    lines = path.read_text().splitlines()
+    assert len(lines) == 1
+    assert json.loads(lines[0])["order_strategy"] == "noop"
+
+
+def test_ring_buffer_is_bounded():
+    SLOWLOG.enable(0, capacity=4)
+    for i in range(10):
+        SLOWLOG.record(SLOWLOG.mark(), "modify", seq=i)
+    assert len(SLOWLOG.entries) == 4
+    assert [e["seq"] for e in SLOWLOG.entries] == [6, 7, 8, 9]
+
+
+def test_negative_threshold_rejected():
+    with pytest.raises(ValueError):
+        SLOWLOG.enable(-1)
+
+
+def test_entries_counter_bumps():
+    METRICS.enable(clear=True)
+    SLOWLOG.enable(0)
+    SLOWLOG.record(SLOWLOG.mark(), "modify")
+    assert METRICS.as_dict()["counters"]["slowlog.entries"] == 1
+
+
+def test_modify_records_strategy_in_slowlog():
+    SLOWLOG.enable(0)
+    modify_sort_order(
+        _table(), SortSpec.of("A", "C", "B"), stats=ComparisonStats()
+    )
+    kinds = [e["kind"] for e in SLOWLOG.entries]
+    assert "modify" in kinds
+    entry = next(e for e in SLOWLOG.entries if e["kind"] == "modify")
+    assert entry["order_strategy"] in (
+        "noop", "segment_sort", "merge_runs", "combined", "full_sort"
+    )
+    assert "comparisons" in entry
+
+
+def test_query_terminal_records_with_sort_strategies():
+    SLOWLOG.enable(0)
+    Query(_table()).order_by("A", "C").rows()
+    kinds = [e["kind"] for e in SLOWLOG.entries]
+    assert "query.rows" in kinds
+    entry = next(e for e in SLOWLOG.entries if e["kind"] == "query.rows")
+    assert entry.get("order_strategy")
+
+
+def test_span_tree_handles_orphans_and_budget():
+    records = [
+        {"pid": 1, "id": 1, "parent": None, "name": "root",
+         "start": 0.0, "dur": 0.5},
+        {"pid": 1, "id": 2, "parent": 1, "name": "child",
+         "start": 0.1, "dur": 0.2, "attrs": {"rows": 3}},
+        {"pid": 1, "id": 3, "parent": 99, "name": "orphan",
+         "start": 0.2, "dur": 0.1},
+    ]
+    tree = span_tree(records)
+    names = [n["name"] for n in tree]
+    assert names == ["root", "orphan"]
+    assert tree[0]["children"][0]["attrs"] == {"rows": 3}

@@ -1,0 +1,98 @@
+"""Scraping the telemetry plane mid-query must never fail.
+
+The acceptance bar for the live endpoint: eight client threads hammer
+``/metrics`` and ``/healthz`` while a governed, fault-injected,
+``workers=4`` parallel modify runs — and every single response is a
+success with a parseable body, including the ones served mid-run while
+counters are being bumped from worker callbacks.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+
+import repro.parallel.planner as planner
+from repro.core.analysis import analyze_order_modification
+from repro.core.modify import modify_sort_order
+from repro.exec import ExecutionConfig, parse_faults
+from repro.model import Schema, SortSpec
+from repro.obs import METRICS
+from repro.obs.exporters import validate_prometheus_text
+from repro.obs.server import TelemetryServer
+from repro.parallel.api import parallel_modify
+from repro.workloads.generators import random_sorted_table
+
+SCHEMA = Schema.of("A", "B", "C", "D")
+DOMAINS = [12, 24, 48, 8]
+SPEC_IN = SortSpec.of("A", "B", "C")
+SPEC_OUT = SortSpec.of("A", "C", "B")
+
+
+def _scrape_loop(url, stop, failures, scrapes):
+    while not stop.is_set():
+        for endpoint in ("/metrics", "/healthz"):
+            try:
+                with urllib.request.urlopen(url + endpoint, timeout=5) as r:
+                    body = r.read().decode("utf-8")
+                    if r.status != 200:
+                        failures.append(f"{endpoint}: status {r.status}")
+                        continue
+                    if endpoint == "/metrics":
+                        errors = validate_prometheus_text(body)
+                        if errors:
+                            failures.append(f"/metrics invalid: {errors[:3]}")
+                    else:
+                        health = json.loads(body)
+                        if health["status"] not in ("ok", "degraded"):
+                            failures.append(f"/healthz: {health['status']!r}")
+            except Exception as exc:  # noqa: BLE001 - any failure fails the test
+                failures.append(f"{endpoint}: {exc!r}")
+            scrapes.append(endpoint)
+
+
+def test_eight_scrapers_during_faulted_governed_parallel_modify(monkeypatch):
+    monkeypatch.setattr(planner, "MIN_PARALLEL_ROWS", 0)
+    METRICS.enable(clear=True)
+    table = random_sorted_table(
+        SCHEMA, SPEC_IN, 1200, domains=DOMAINS, seed=0
+    )
+    baseline = modify_sort_order(table, SPEC_OUT)
+    plan = analyze_order_modification(table.sort_spec, SPEC_OUT)
+    cfg = ExecutionConfig(
+        workers=4, shard_retries=1, memory_budget=1 << 30
+    )
+
+    stop = threading.Event()
+    failures: list[str] = []
+    scrapes: list[str] = []
+    with TelemetryServer(port=0, config=cfg) as server:
+        threads = [
+            threading.Thread(
+                target=_scrape_loop,
+                args=(server.url, stop, failures, scrapes),
+                daemon=True,
+            )
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        try:
+            result = parallel_modify(
+                table, SPEC_OUT, plan, plan.strategy, 4,
+                config=cfg, faults=parse_faults("kill@0x1"),
+            )
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=10)
+
+    assert not failures, failures[:5]
+    assert len(scrapes) >= 16  # all eight threads actually scraped
+    assert result is not None
+    assert result.rows == baseline.rows
+    assert result.ovcs == baseline.ovcs
+    counters = METRICS.as_dict()["counters"]
+    assert counters.get("pool.shard_retries", 0) >= 1
+    assert counters.get("server.requests", 0) >= len(scrapes)

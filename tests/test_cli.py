@@ -134,3 +134,78 @@ def test_cli_bench_rejects_malformed_workers():
         main(["bench", "--workers", "two"])
     with pytest.raises(SystemExit):
         main(["bench", "--workers", ","])
+
+
+def test_cli_serve_exits_after_duration(capsys):
+    from repro.obs import METRICS
+
+    try:
+        assert main(["serve", "--duration", "0.1", "--warm"]) == 0
+    finally:
+        METRICS.disable()
+        METRICS.reset()
+    out = capsys.readouterr().out
+    assert "telemetry serving on http://" in out
+    assert "warmed" in out
+
+
+def test_cli_serve_endpoints_respond(capsys):
+    import json
+    import threading
+    import urllib.request
+
+    from repro.obs import METRICS
+
+    results = {}
+
+    def scrape():
+        out = capsys.readouterr().out
+        url = next(
+            word for word in out.split() if word.startswith("http://")
+        )
+        with urllib.request.urlopen(url + "/healthz", timeout=5) as resp:
+            results["health"] = json.loads(resp.read())
+        with urllib.request.urlopen(url + "/metrics", timeout=5) as resp:
+            results["metrics"] = resp.read().decode("utf-8")
+
+    # The serve loop blocks until --duration elapses, so scrape from a
+    # helper thread while the CLI is the foreground "process".
+    scraper = threading.Timer(0.2, scrape)
+    scraper.start()
+    try:
+        assert main(["serve", "--duration", "0.8", "--warm"]) == 0
+    finally:
+        scraper.join()
+        METRICS.disable()
+        METRICS.reset()
+    assert results["health"]["status"] in ("ok", "degraded")
+    assert "repro_" in results["metrics"]
+
+
+def test_cli_experiment_with_telemetry_port(capsys):
+    from repro.obs import METRICS
+
+    try:
+        assert main(
+            ["table1", "--log2-rows", "8", "--telemetry-port", "0"]
+        ) == 0
+    finally:
+        METRICS.disable()
+        METRICS.reset()
+    out = capsys.readouterr().out
+    assert "telemetry serving on http://" in out
+    assert "Table 1 cases" in out
+
+
+def test_cli_profile_writes_collapsed_stacks(capsys, tmp_path):
+    path = tmp_path / "profile.folded"
+    assert main(
+        ["table1", "--log2-rows", "10", "--profile", str(path)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "collapsed stacks" in out
+    text = path.read_text()
+    if text:  # tiny runs can fall under the sampling interval
+        stack, count = text.splitlines()[0].rsplit(" ", 1)
+        assert int(count) >= 1
+        assert "repro" in stack
