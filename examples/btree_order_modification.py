@@ -13,10 +13,10 @@ from __future__ import annotations
 
 import random
 
-from repro.core.modify import modify_sort_order
+from repro import modify_sort_order
 from repro.engine.scans import BTreeScan
-from repro.model import Schema, SortSpec, Table
-from repro.ovc.stats import ComparisonStats
+from repro import Schema, SortSpec, Table
+from repro import ComparisonStats
 from repro.storage.btree import BTree
 
 

@@ -14,10 +14,10 @@ Run:  python examples/column_store_pipeline.py
 
 from __future__ import annotations
 
-from repro.core.modify import modify_sort_order
+from repro import modify_sort_order
 from repro.engine.scans import ColumnStoreScan
-from repro.model import Schema, SortSpec
-from repro.ovc.stats import ComparisonStats
+from repro import Schema, SortSpec
+from repro import ComparisonStats
 from repro.storage.colstore import ColumnStore
 from repro.workloads.generators import random_sorted_table
 

@@ -18,13 +18,13 @@ Run:  python examples/enrollment_joins.py
 
 from __future__ import annotations
 
-from repro.core.analysis import analyze_order_modification
+from repro import analyze_order_modification
 from repro.engine.aggregate import GroupBy
 from repro.engine.merge_join import MergeJoin
 from repro.engine.scans import TableScan
-from repro.engine.sort_op import Sort
-from repro.model import SortSpec
-from repro.ovc.stats import ComparisonStats
+from repro import Sort
+from repro import SortSpec
+from repro import ComparisonStats
 from repro.workloads.enrollment import make_enrollment_workload
 
 

@@ -14,10 +14,10 @@ from __future__ import annotations
 
 import random
 
-from repro.core.modify import modify_sort_order
-from repro.model import Schema, SortSpec, Table
+from repro import modify_sort_order
+from repro import Schema, SortSpec, Table
 from repro.ovc.derive import derive_ovcs
-from repro.ovc.stats import ComparisonStats
+from repro import ComparisonStats
 from repro.sorting.external import ExternalMergeSort
 from repro.storage.pages import PageManager
 

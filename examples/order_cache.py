@@ -25,9 +25,9 @@ import random
 import time
 
 from repro.cache import get_cache, reset_cache
-from repro.exec import ExecutionConfig
-from repro.model import Schema, Table
-from repro.query import Query
+from repro import ExecutionConfig
+from repro import Schema, Table
+from repro import Query
 
 ORDERS = [("A", "B", "C"), ("A", "C", "B"), ("B", "A", "C")]
 

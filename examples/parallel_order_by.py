@@ -22,8 +22,8 @@ import os
 import time
 
 import repro.parallel.planner as planner
-from repro.exec import ExecutionConfig
-from repro.query import Query
+from repro import ExecutionConfig
+from repro import Query
 from repro.workloads.retail import make_retail_workload
 
 
@@ -72,9 +72,10 @@ def main() -> None:
 
     # The per-customer segments are what make this shardable: show the
     # planner's verdict for the same job.
-    from repro.core.analysis import analyze_order_modification
+    from repro import analyze_order_modification
     from repro.model import SortSpec
-    from repro.parallel import plan_shards, resolve_workers
+    from repro import resolve_workers
+    from repro.parallel.planner import plan_shards
 
     plan = analyze_order_modification(w.orders.sort_spec, SortSpec(order))
     sp = plan_shards(

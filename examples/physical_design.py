@@ -16,7 +16,7 @@ Run:  python examples/physical_design.py
 
 from __future__ import annotations
 
-from repro.model import SortSpec
+from repro import SortSpec
 from repro.optimizer.join_planning import JoinEdge, Relation, plan_joins
 from repro.optimizer.physical_design import design_indexes
 

@@ -12,8 +12,8 @@ from __future__ import annotations
 
 import random
 
-from repro.model import Schema, SortSpec, Table
-from repro.query import Query
+from repro import Schema, SortSpec, Table
+from repro import Query
 
 PRODUCTS = ["apples", "bread", "coffee", "dates", "eggs"]
 QUARTERS = [1, 2, 3, 4]

@@ -11,7 +11,7 @@ Run:  python examples/quickstart.py
 from __future__ import annotations
 
 from repro import ComparisonStats, Schema, SortSpec, analyze_order_modification
-from repro.core.modify import modify_sort_order
+from repro import modify_sort_order
 from repro.workloads.generators import random_sorted_table
 
 

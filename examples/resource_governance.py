@@ -21,11 +21,12 @@ Run:  python examples/resource_governance.py
 from __future__ import annotations
 
 import repro.parallel.planner as planner
-from repro.core.modify import modify_sort_order
-from repro.exec import ExecutionConfig, parse_faults
-from repro.model import Schema, SortSpec
+from repro import modify_sort_order
+from repro import ExecutionConfig
+from repro.exec import parse_faults
+from repro import Schema, SortSpec
 from repro.obs import METRICS
-from repro.ovc.stats import ComparisonStats
+from repro import ComparisonStats
 from repro.workloads.generators import random_sorted_table
 
 
@@ -65,8 +66,7 @@ def main() -> None:
     # serially in the driver.  Output is still bit-identical.
     planner.MIN_PARALLEL_ROWS = 0
     METRICS.enable(clear=True)
-    from repro.core.analysis import analyze_order_modification
-    from repro.parallel.api import parallel_modify
+    from repro import analyze_order_modification, parallel_modify
 
     plan = analyze_order_modification(table.sort_spec, spec)
     fault_cfg = ExecutionConfig(workers=2, shard_retries=1)

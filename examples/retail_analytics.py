@@ -15,8 +15,8 @@ Run:  python examples/retail_analytics.py
 
 from __future__ import annotations
 
-from repro.query import Query
-from repro.trace import explain_analyze
+from repro import Query
+from repro import explain_analyze
 from repro.workloads.retail import make_retail_workload
 
 

@@ -17,12 +17,12 @@ from __future__ import annotations
 import random
 
 from repro.core.classify import split_segments
-from repro.core.modify import modify_sort_order
-from repro.engine.modify_op import StreamingModify
+from repro import modify_sort_order
+from repro import StreamingModify
 from repro.engine.scans import TableScan
-from repro.model import Schema, SortSpec, Table
+from repro import Schema, SortSpec, Table
 from repro.ovc.derive import derive_ovcs
-from repro.ovc.stats import ComparisonStats
+from repro import ComparisonStats
 
 
 def main() -> None:

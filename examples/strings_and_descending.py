@@ -14,11 +14,11 @@ from __future__ import annotations
 
 import random
 
-from repro.core.analysis import analyze_order_modification
-from repro.core.modify import modify_sort_order
-from repro.model import Schema, SortSpec, Table
+from repro import analyze_order_modification
+from repro import modify_sort_order
+from repro import Schema, SortSpec, Table
 from repro.ovc.derive import derive_table_ovcs
-from repro.ovc.stats import ComparisonStats
+from repro import ComparisonStats
 
 SERVICES = ["auth", "billing", "catalog", "checkout", "search", "shipping"]
 LEVELS = ["DEBUG", "ERROR", "INFO", "WARN"]

@@ -12,13 +12,13 @@ from __future__ import annotations
 import json
 import urllib.request
 
-from repro.core.modify import modify_sort_order
-from repro.exec import ExecutionConfig
-from repro.model import Schema, SortSpec
+from repro import modify_sort_order
+from repro import ExecutionConfig
+from repro import Schema, SortSpec
 from repro.obs import LOG, METRICS, SLOWLOG
 from repro.obs.logging import read_log
 from repro.obs.server import start_telemetry_server, stop_telemetry_server
-from repro.ovc.stats import ComparisonStats
+from repro import ComparisonStats
 from repro.workloads.generators import random_sorted_table
 
 N_ROWS = 20_000

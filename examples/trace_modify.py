@@ -21,9 +21,9 @@ import os
 import tempfile
 
 import repro.parallel.planner as planner
-from repro.core.modify import modify_sort_order
-from repro.exec import ExecutionConfig
-from repro.model import Schema, SortSpec
+from repro import modify_sort_order
+from repro import ExecutionConfig
+from repro import Schema, SortSpec
 from repro.obs import METRICS, TRACER
 from repro.obs.exporters import (
     prometheus_text,

@@ -3,7 +3,7 @@ offset-value codes* (Graefe, Kuhrt, Seeger; EDBT 2025).
 
 Quick start::
 
-    from repro import Schema, SortSpec, Table, modify_sort_order
+    from repro import Schema, SortSpec, modify_sort_order
     from repro.workloads import random_sorted_table
 
     table = random_sorted_table(schema=Schema.of("A", "B", "C"),
@@ -12,11 +12,21 @@ Quick start::
     result = modify_sort_order(table, SortSpec.of("A", "C", "B"))
     assert result.is_sorted()
 
-The top-level namespace re-exports the model types, the order
-modification entry point, and the statistics container; subsystems live
-in :mod:`repro.ovc`, :mod:`repro.sorting`, :mod:`repro.core`,
-:mod:`repro.storage`, :mod:`repro.engine`, :mod:`repro.optimizer`,
-:mod:`repro.workloads`, and :mod:`repro.bench`.
+Concurrent serving::
+
+    from repro import ExecutionConfig, OrderService
+
+    with OrderService(ExecutionConfig(cache="on")) as svc:
+        resp = svc.order_by(table, "A", "C", "B")
+
+**This namespace is the stable public API** — everything in
+``__all__`` below follows the compatibility contract spelled out in
+``docs/API.md`` (model types, the modification entry points, the
+``Query``/``Sort`` operators, ``ExecutionConfig``, the order service
+and its error types, and the order-cache controls).  Anything imported
+from a submodule *not* re-exported here is internal and may change
+without notice; the examples and docs import only public names, and a
+test (``tests/serve/test_facade.py``) enforces that.
 """
 
 from .model import Desc, Schema, SortColumn, SortSpec, Table
@@ -25,29 +35,57 @@ from .core.analysis import ModificationPlan, Strategy, analyze_order_modificatio
 from .core.modify import modify_sort_order
 from .core.external_modify import modify_sort_order_external
 from .exec import ExecutionConfig, RetryPolicy
+from .cache import OrderCache, configure_cache, reset_cache
+from .engine.sort_op import Sort
+from .engine.modify_op import StreamingModify
 from .parallel.api import parallel_modify, resolve_workers
 from .query import Query
+from .serve import (
+    DeadlineExceededError,
+    OrderResponse,
+    OrderService,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadError,
+)
 from .trace import explain_analyze
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # model
     "Desc",
     "Schema",
     "SortColumn",
     "SortSpec",
     "Table",
     "ComparisonStats",
+    # order modification
     "ModificationPlan",
     "Strategy",
     "analyze_order_modification",
     "modify_sort_order",
     "modify_sort_order_external",
+    # execution
     "ExecutionConfig",
     "RetryPolicy",
     "parallel_modify",
     "resolve_workers",
+    # query & operators
     "Query",
+    "Sort",
+    "StreamingModify",
     "explain_analyze",
+    # order cache
+    "OrderCache",
+    "configure_cache",
+    "reset_cache",
+    # serving
+    "OrderService",
+    "OrderResponse",
+    "ServiceError",
+    "ServiceOverloadError",
+    "DeadlineExceededError",
+    "ServiceClosedError",
     "__version__",
 ]

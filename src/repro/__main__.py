@@ -14,6 +14,10 @@ Regenerates the paper's measured artifacts as text tables:
   with ``--cache`` it instead measures the order cache — cold sort vs
   modify-from-cached-order vs exact hit over the Table 1 order pairs —
   and fails if any cache-served cell is slower than the cold sort;
+  with ``--serve`` it instead runs the duplicate-heavy closed-loop
+  serving benchmark (16 threads over 4 orders by default) and fails
+  unless duplicates coalesced, executions < requests, and every
+  response matched serial uncached execution bit for bit;
 * ``trace`` — run one Table 1 case under the span tracer and metrics
   registry (``--case N``, ``--trace-workers W``), write the trace
   artifact (Chrome trace-event JSON by default, JSON-lines for
@@ -23,7 +27,11 @@ Regenerates the paper's measured artifacts as text tables:
   ``/metrics``, ``/healthz``, ``/varz``) as a standalone process:
   ``--warm`` runs one small modify first so ``/metrics`` has non-zero
   series, ``--duration S`` exits after S seconds (default: serve until
-  interrupted);
+  interrupted); ``--load`` instead drives an
+  :class:`~repro.serve.OrderService` with the closed-loop
+  duplicate-heavy mix (``--load-threads`` / ``--load-requests`` /
+  ``--load-orders``) while telemetry is live, prints the coalescing
+  report, and exits non-zero if the service failed to share work;
 * ``all`` — everything above except ``bench``, ``trace`` and ``serve``.
 
 Both bench modes verify bit-identical rows and codes in every cell and
@@ -43,13 +51,19 @@ FILE`` samples the run's stacks and writes a collapsed-stack
 Resource governance (:mod:`repro.exec`): ``--memory-budget 64MiB``
 caps the per-query buffered bytes (excess spills to disk, output
 bit-identical), ``--spill-dir`` picks where spill files land,
-``--shard-timeout``/``--shard-retries`` set the worker pool's fault
+``--shard-timeout-s``/``--shard-retries`` set the worker pool's fault
 policy.  The order cache (:mod:`repro.cache`) is governed by
-``--cache off|on|auto``, ``--cache-budget``, and ``--cache-ttl``.  The
-same knobs are honored from the environment (``REPRO_MEMORY_BUDGET``,
-``REPRO_SPILL_DIR``, ``REPRO_SHARD_TIMEOUT``, ``REPRO_SHARD_RETRIES``,
-``REPRO_CACHE``, ``REPRO_CACHE_BUDGET``, ``REPRO_CACHE_TTL``);
-command-line flags win.
+``--cache off|on|auto``, ``--cache-budget``, and ``--cache-ttl``; the
+order service by ``--service-threads``, ``--service-queue-depth``,
+and ``--service-deadline-ms``.  Every flag is named after the
+:class:`~repro.exec.ExecutionConfig` field it sets, and the same
+fields resolve with precedence **file < environment < flags**: a
+``--config FILE`` JSON object is the base, ``REPRO_*`` variables
+(``REPRO_MEMORY_BUDGET``, ``REPRO_SPILL_DIR``, ``REPRO_SHARD_TIMEOUT``,
+``REPRO_SHARD_RETRIES``, ``REPRO_CACHE``, ``REPRO_CACHE_BUDGET``,
+``REPRO_CACHE_TTL``, ``REPRO_SERVICE_THREADS``,
+``REPRO_SERVICE_QUEUE_DEPTH``, ``REPRO_SERVICE_DEADLINE_MS``)
+override it, and explicit command-line flags win.
 """
 
 from __future__ import annotations
@@ -73,25 +87,31 @@ from .model import Schema
 
 
 def _exec_config(args, workers: int | str | None = None) -> ExecutionConfig:
-    """The run's ExecutionConfig: environment defaults, flags override."""
-    cfg = ExecutionConfig.from_env()
+    """The run's ExecutionConfig.
+
+    Precedence (lowest to highest): ``--config FILE`` values, then
+    ``REPRO_*`` environment variables, then explicit flags — each flag
+    is named after the config field it sets (``--memory-budget`` ->
+    ``memory_budget``, ``--shard-timeout-s`` -> ``shard_timeout_s``,
+    ``--service-threads`` -> ``service_threads``, ...).
+    """
+    base = (
+        ExecutionConfig.from_file(args.config)
+        if getattr(args, "config", None) is not None
+        else None
+    )
+    cfg = ExecutionConfig.from_env(base=base)
     overrides: dict = {}
     if workers is not None:
         overrides["workers"] = workers
-    if args.memory_budget is not None:
-        overrides["memory_budget"] = args.memory_budget
-    if args.spill_dir is not None:
-        overrides["spill_dir"] = args.spill_dir
-    if args.shard_timeout is not None:
-        overrides["shard_timeout_s"] = args.shard_timeout
-    if args.shard_retries is not None:
-        overrides["shard_retries"] = args.shard_retries
-    if getattr(args, "cache", None) is not None:
-        overrides["cache"] = args.cache
-    if getattr(args, "cache_budget", None) is not None:
-        overrides["cache_budget"] = args.cache_budget
-    if getattr(args, "cache_ttl", None) is not None:
-        overrides["cache_ttl"] = args.cache_ttl
+    for field in (
+        "memory_budget", "spill_dir", "shard_timeout_s", "shard_retries",
+        "cache", "cache_budget", "cache_ttl", "service_threads",
+        "service_queue_depth", "service_deadline_ms",
+    ):
+        value = getattr(args, field, None)
+        if value is not None:
+            overrides[field] = value
     return cfg.with_(**overrides) if overrides else cfg
 
 
@@ -271,6 +291,45 @@ def _bench_cache(n_rows: int, seed: int, json_path: str | None) -> int:
     return 1 if problems else 0
 
 
+def _bench_serve(
+    n_rows: int, seed: int, json_path: str | None,
+    cfg: ExecutionConfig, args,
+) -> int:
+    from .bench.serve_bench import (
+        check_serve_record,
+        format_serve_summary,
+        run_serve_trajectory,
+        write_serve_trajectory,
+    )
+
+    # The serving benchmark exercises the full sharing stack, so the
+    # order cache defaults on unless the invocation said otherwise.
+    config = cfg if cfg.cache != "off" else cfg.with_(cache="on")
+    record = run_serve_trajectory(
+        n_rows,
+        seed=seed,
+        threads=args.load_threads,
+        requests_per_thread=args.load_requests,
+        n_orders=args.load_orders,
+        config=config,
+    )
+    print(
+        format_table(
+            format_serve_summary(record),
+            f"order service, duplicate-heavy closed loop ({n_rows:,} rows; "
+            f"{record['executions']} executions for {record['requests']} "
+            f"requests, p99 {record['latency_ms']['p99']}ms)",
+        )
+    )
+    if json_path:
+        write_serve_trajectory(json_path, record)
+        print(f"wrote {json_path}")
+    problems = check_serve_record(record)
+    for problem in problems:
+        print(f"SERVE BENCH FAILURE: {problem}")
+    return 1 if problems else 0
+
+
 def _parse_workers(spec: str) -> list[int]:
     try:
         workers = [int(w) for w in spec.split(",") if w.strip()]
@@ -430,6 +489,9 @@ def _serve(args, cfg: ExecutionConfig) -> int:
         _warm_workload(cfg)
         print("warmed: one Table 1 modify recorded", flush=True)
     try:
+        if args.load:
+            n_rows = 1 << args.log2_rows
+            return _bench_serve(n_rows, args.seed, args.json, cfg, args)
         if args.duration is not None:
             time.sleep(args.duration)
         else:
@@ -456,6 +518,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--log2-rows", type=int, default=14)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--config",
+        metavar="FILE",
+        default=None,
+        help="JSON file of ExecutionConfig fields; precedence is"
+        " file < REPRO_* environment < explicit flags",
+    )
     parser.add_argument(
         "--json",
         metavar="PATH",
@@ -516,7 +585,9 @@ def main(argv: list[str] | None = None) -> int:
         " (default: system temp)",
     )
     parser.add_argument(
-        "--shard-timeout",
+        "--shard-timeout-s",
+        "--shard-timeout",  # legacy spelling, kept as an alias
+        dest="shard_timeout_s",
         type=float,
         metavar="SECONDS",
         default=None,
@@ -554,6 +625,65 @@ def main(argv: list[str] | None = None) -> int:
         metavar="SECONDS",
         default=None,
         help="order-cache entry lifetime (default: no expiry)",
+    )
+    parser.add_argument(
+        "--service-threads",
+        type=int,
+        metavar="N",
+        default=None,
+        help="order-service scheduler threads (with 'serve --load' and"
+        " 'bench --serve'; default 4)",
+    )
+    parser.add_argument(
+        "--service-queue-depth",
+        type=int,
+        metavar="N",
+        default=None,
+        help="order-service admission-queue bound; a full queue rejects"
+        " with ServiceOverloadError (default 64)",
+    )
+    parser.add_argument(
+        "--service-deadline-ms",
+        type=float,
+        metavar="MS",
+        default=None,
+        help="order-service default per-request deadline"
+        " (default: none)",
+    )
+    parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="with 'bench': run the duplicate-heavy closed-loop serving"
+        " benchmark (coalescing + latency) instead of the engine cells",
+    )
+    parser.add_argument(
+        "--load",
+        action="store_true",
+        help="with 'serve': drive the order service with a closed-loop"
+        " duplicate-heavy load and print the report, instead of idling",
+    )
+    parser.add_argument(
+        "--load-threads",
+        type=int,
+        metavar="N",
+        default=16,
+        help="closed-loop load: concurrent client threads (default 16)",
+    )
+    parser.add_argument(
+        "--load-requests",
+        type=int,
+        metavar="N",
+        default=8,
+        help="closed-loop load: requests per thread (default 8)",
+    )
+    parser.add_argument(
+        "--load-orders",
+        type=int,
+        metavar="N",
+        default=4,
+        help="closed-loop load: distinct target orders; threads spread"
+        " over them round-robin, so N threads / N orders duplicates"
+        " per wave (default 4)",
     )
     parser.add_argument(
         "--telemetry-port",
@@ -640,7 +770,9 @@ def _dispatch(args, n_rows: int, cfg: ExecutionConfig) -> int:
         METRICS.enable(clear=True)
 
     if args.experiment == "bench":
-        if args.cache is not None:
+        if args.serve:
+            rc = _bench_serve(n_rows, args.seed, args.json, cfg, args)
+        elif args.cache is not None:
             rc = _bench_cache(n_rows, args.seed, args.json)
         elif args.workers:
             rc = _bench_parallel(

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..core.modify import modify_sort_order
+from ..exec import ExecutionConfig
 from ..model import Table
 from ..ovc.stats import ComparisonStats
 from ..workloads.generators import (
@@ -46,7 +47,7 @@ def run_fig10_cell(
         method="merge_runs",
         use_ovc=use_ovc,
         stats=stats if stats is not None else ComparisonStats(),
-        engine=engine,
+        config=ExecutionConfig(engine=engine),
     )
 
 
@@ -101,7 +102,7 @@ def run_fig11_cell(
         method=method,
         use_ovc=True,
         stats=stats if stats is not None else ComparisonStats(),
-        engine=engine,
+        config=ExecutionConfig(engine=engine),
     )
 
 

@@ -59,9 +59,8 @@ def modify_sort_order_external(
     method: str = "auto",
     stats: ComparisonStats | None = None,
     run_generation: str = "replacement",
-    engine: str | None = None,
-    workers: int | str | None = None,
     config: ExecutionConfig | None = None,
+    **legacy,
 ) -> Table:
     """Modify ``table``'s sort order within a row-count memory budget.
 
@@ -71,8 +70,8 @@ def modify_sort_order_external(
 
     ``config`` carries the execution knobs (engine, workers, byte
     budget, retry policy — see :class:`repro.exec.ExecutionConfig`);
-    the standalone ``engine=``/``workers=`` kwargs are its deprecated
-    spellings.  ``config.engine == "fast"`` executes the in-memory
+    the removed standalone ``engine=``/``workers=`` kwargs raise a
+    ``TypeError``.  ``config.engine == "fast"`` executes the in-memory
     segments through the packed-code kernels (:mod:`repro.fastpath`) —
     same rows and codes, no comparison counts.  Oversized segments
     always take the reference path: spill accounting and capped merge
@@ -99,7 +98,7 @@ def modify_sort_order_external(
     """
     if memory_capacity < 2:
         raise ValueError("memory capacity must allow at least two rows")
-    cfg = resolve_config(config, engine=engine, workers=workers)
+    cfg = resolve_config(config, "modify_sort_order_external", **legacy)
     if table.sort_spec is None:
         raise ValueError("input table must declare its sort order")
     new_spec = new_order if isinstance(new_order, SortSpec) else SortSpec(new_order)

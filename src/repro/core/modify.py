@@ -23,9 +23,9 @@ budget with spill-to-disk, and the pool's retry/timeout policy::
     cfg = ExecutionConfig(workers=4, memory_budget="64MiB")
     result = modify_sort_order(table, new_order, config=cfg)
 
-The pre-4 ``engine=`` / ``workers=`` / ``max_fan_in=`` kwargs still
-work for one release (folded into a config with a
-``DeprecationWarning`` by :mod:`repro.exec.compat`).
+The pre-4 ``engine=`` / ``workers=`` / ``max_fan_in=`` kwargs are
+gone after their one-release deprecation cycle; a stale call site gets
+a ``TypeError`` naming the config field (:mod:`repro.exec.compat`).
 
 With a memory budget, buffered output runs are charged to a
 :class:`~repro.exec.memory.MemoryAccountant` and spill to disk
@@ -70,10 +70,8 @@ def modify_sort_order(
     method: str = "auto",
     use_ovc: bool = True,
     stats: ComparisonStats | None = None,
-    max_fan_in: int | None = None,
-    engine: str | None = None,
-    workers: int | str | None = None,
     config: ExecutionConfig | None = None,
+    **legacy,
 ) -> Table:
     """Return ``table``'s rows sorted on ``new_order``.
 
@@ -112,14 +110,12 @@ def modify_sort_order(
       comparison counts are unaffected.
 
     The standalone ``engine=`` / ``workers=`` / ``max_fan_in=`` kwargs
-    are deprecated spellings of the config fields (one release of
-    ``DeprecationWarning`` before removal).
+    were removed after their deprecation release; passing one raises a
+    ``TypeError`` naming the config field to use instead.
     """
     if method not in _METHODS:
         raise ValueError(f"unknown method {method!r}; choose from {sorted(_METHODS)}")
-    cfg = resolve_config(
-        config, engine=engine, workers=workers, max_fan_in=max_fan_in
-    )
+    cfg = resolve_config(config, "modify_sort_order", **legacy)
     if cfg.engine == "fast" and not use_ovc:
         raise ValueError("the fast engine requires offset-value codes (use_ovc=True)")
     if table.sort_spec is None:

@@ -12,13 +12,13 @@ sorting turns one external sort into many internal ones (hypothesis 1).
 For plans without a shared prefix (cases 2/3) the whole input is one
 segment and this operator degenerates to the materializing path.
 
-``engine="fast"`` flushes each buffered segment through the
+``config.engine == "fast"`` flushes each buffered segment through the
 packed-code kernels (:func:`repro.fastpath.execute.fast_segment`)
 instead of the instrumented executors: same rows and codes, no
 comparison counts.  ``auto`` keeps the reference path — a streaming
 operator's counters are part of its contract.
 
-``workers=N`` pipelines segment execution across worker processes
+``config.workers`` pipelines segment execution across worker processes
 while preserving the streaming contract: consecutive segments are
 batched into shards, dispatched to the pool as the input is consumed,
 and re-emitted in segment order by the bounded ordered collector
@@ -55,15 +55,14 @@ class StreamingModify(Operator):
         self,
         child: Operator,
         spec: SortSpec,
-        engine: str | None = None,
-        workers: int | str | None = None,
         shard_rows: int = 4096,
         config: "ExecutionConfig | None" = None,
+        **legacy,
     ) -> None:
         if child.ordering is None:
             raise ValueError("streaming modification needs an ordered input")
         super().__init__(child.schema, spec, child.stats)
-        self._config = resolve_config(config, engine=engine, workers=workers)
+        self._config = resolve_config(config, "StreamingModify", **legacy)
         self._child = child
         self._spec = spec
         self._engine = self._config.engine

@@ -26,8 +26,8 @@ across processes (with the config's retry/timeout policy), with worker
 counters merged back into the operator's stats; everything else stays
 serial automatically.  ``config.memory_budget`` governs the order
 modification's buffered output (spill-to-disk under pressure).  The
-standalone ``engine=``/``workers=`` kwargs are the config fields'
-deprecated spellings.
+standalone ``engine=``/``workers=`` kwargs were removed after their
+deprecation release and now raise ``TypeError``.
 
 ``config.cache`` plugs the operator into the order cache
 (:mod:`repro.cache`): before sorting, the cache is consulted for this
@@ -68,12 +68,11 @@ class Sort(Operator):
         use_ovc: bool = True,
         memory_capacity: int | None = None,
         fan_in: int = 16,
-        engine: str | None = None,
-        workers: int | str | None = None,
         config: ExecutionConfig | None = None,
+        **legacy,
     ) -> None:
         super().__init__(child.schema, spec, child.stats)
-        self._config = resolve_config(config, engine=engine, workers=workers)
+        self._config = resolve_config(config, "Sort", **legacy)
         if self._config.engine == "fast" and not use_ovc:
             raise ValueError(
                 "the fast engine requires offset-value codes (use_ovc=True)"

@@ -9,8 +9,9 @@ directory, retry/timeout policy, observability requests) through
 
 * :mod:`repro.exec.config` — ``ExecutionConfig`` / ``RetryPolicy`` /
   ``parse_memory``.
-* :mod:`repro.exec.compat` — the single folding point for the
-  deprecated ``engine=``/``workers=``/``max_fan_in=`` kwargs.
+* :mod:`repro.exec.compat` — the single rejection point for the
+  removed ``engine=``/``workers=``/``max_fan_in=`` kwargs (one clear
+  ``TypeError`` naming the ``ExecutionConfig`` replacement).
 * :mod:`repro.exec.memory` — ``MemoryAccountant``, the per-query byte
   ledger every buffering site charges.
 * :mod:`repro.exec.spill` — real spill-to-disk of buffered runs.

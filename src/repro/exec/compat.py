@@ -1,74 +1,62 @@
-"""Legacy-kwarg folding: the one place ``engine=``/``workers=`` live on.
+"""Legacy-kwarg rejection: the removed ``engine=``/``workers=`` kwargs.
 
 PRs 1-3 grew ``engine=``, ``workers=``, and ``max_fan_in=`` kwargs on
-every entry point; PR 4 replaces them with one
-:class:`~repro.exec.config.ExecutionConfig`.  The old kwargs still work
-for one release — each use emits a :class:`DeprecationWarning` and is
-folded into the config *here*, so no call site carries its own folding
-logic and removing the kwargs next release is a one-file change.
+every entry point; PR 4 replaced them with one
+:class:`~repro.exec.config.ExecutionConfig` and kept the old spellings
+alive for one release behind a :class:`DeprecationWarning`.  That
+release has shipped: the kwargs are now **removed**.  Entry points
+absorb them via ``**legacy`` and route here, so a stale call site gets
+one clear :class:`TypeError` naming the replacement instead of a bare
+"unexpected keyword argument" — and the error message lives in exactly
+one place.
 """
 
 from __future__ import annotations
 
-import warnings
-
 from .config import ExecutionConfig
 
-#: Sentinel distinguishing "kwarg not passed" from an explicit ``None``
-#: (both legacy ``workers=None`` and ``engine=None`` must keep working).
-_UNSET = object()
+#: Removed kwarg -> the ExecutionConfig spelling the error points at.
+_REMOVED = {
+    "engine": 'ExecutionConfig(engine="fast")',
+    "workers": "ExecutionConfig(workers=4)",
+    "max_fan_in": "ExecutionConfig(max_fan_in=8)",
+}
 
 
-def deprecated_kwarg(name: str, replacement: str, stacklevel: int = 4) -> None:
-    """Emit the one deprecation message format for a legacy kwarg."""
-    warnings.warn(
-        f"the {name}= keyword is deprecated; pass "
-        f"ExecutionConfig({replacement}) via config= instead "
-        "(the kwarg will be removed in the next release)",
-        DeprecationWarning,
-        stacklevel=stacklevel,
-    )
+def reject_legacy_kwargs(where: str, kwargs: dict) -> None:
+    """Raise the one removal message for any legacy kwarg in ``kwargs``.
+
+    Unknown keywords raise the standard "unexpected keyword argument"
+    ``TypeError``, so entry points that absorb ``**kwargs`` to produce
+    the removal message stay honest about genuine typos.
+    """
+    for name in kwargs:
+        if name in _REMOVED:
+            raise TypeError(
+                f"{where}() no longer accepts the {name}= keyword "
+                f"(deprecated in the previous release, now removed); "
+                f"pass config={_REMOVED[name]} instead"
+            )
+    if kwargs:
+        name = next(iter(kwargs))
+        raise TypeError(
+            f"{where}() got an unexpected keyword argument {name!r}"
+        )
 
 
 def resolve_config(
     config: ExecutionConfig | None,
-    *,
-    engine: object = _UNSET,
-    workers: object = _UNSET,
-    max_fan_in: object = _UNSET,
-    stacklevel: int = 4,
+    where: str = "this entry point",
+    **legacy: object,
 ) -> ExecutionConfig:
-    """Coalesce a ``config=`` argument and legacy kwargs into one config.
+    """Resolve a ``config=`` argument to a concrete config.
 
-    With no config and no legacy kwargs, returns the environment-aware
-    default (:meth:`ExecutionConfig.from_env`), so ``REPRO_*`` variables
-    govern bare calls.  Legacy kwargs are folded over that base with a
-    :class:`DeprecationWarning` each.  Passing both a config *and* a
-    legacy kwarg is ambiguous and raises ``TypeError``.
-
-    The sentinel default distinguishes "not passed" from an explicit
-    ``None``/``"auto"``: ``engine=None`` and ``engine="auto"`` both mean
-    the default engine, and ``workers=None`` means serial — all legal
-    legacy spellings that must keep working (with the warning) until
-    the kwargs are removed.
+    With no config, returns the environment-aware default
+    (:meth:`ExecutionConfig.from_env`), so ``REPRO_*`` variables govern
+    bare calls.  Any surviving legacy kwarg (``engine=``, ``workers=``,
+    ``max_fan_in=``) raises a ``TypeError`` pointing at its
+    :class:`ExecutionConfig` replacement.
     """
-    overrides: dict = {}
-    if engine is not _UNSET and engine is not None:
-        deprecated_kwarg("engine", f"engine={engine!r}", stacklevel)
-        overrides["engine"] = engine
-    if workers is not _UNSET and workers is not None:
-        deprecated_kwarg("workers", f"workers={workers!r}", stacklevel)
-        overrides["workers"] = workers
-    if max_fan_in is not _UNSET and max_fan_in is not None:
-        deprecated_kwarg("max_fan_in", f"max_fan_in={max_fan_in}", stacklevel)
-        overrides["max_fan_in"] = max_fan_in
-
-    if config is not None:
-        if overrides:
-            raise TypeError(
-                "pass either config= or the deprecated "
-                f"{'/'.join(sorted(overrides))} kwargs, not both"
-            )
-        return config
-    base = ExecutionConfig.from_env()
-    return base.with_(**overrides) if overrides else base
+    if legacy:
+        reject_legacy_kwargs(where, legacy)
+    return config if config is not None else ExecutionConfig.from_env()

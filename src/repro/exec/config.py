@@ -23,6 +23,7 @@ config (with a ``DeprecationWarning``) in exactly one place,
 from __future__ import annotations
 
 import dataclasses
+import json
 import os
 from dataclasses import dataclass
 
@@ -149,6 +150,18 @@ class ExecutionConfig:
         it.  ``None`` means unlimited.
     cache_ttl:
         Order-cache entry lifetime in seconds (``None`` = no expiry).
+    service_threads:
+        Scheduler threads of an :class:`~repro.serve.OrderService`
+        built from this config (concurrent executions).
+    service_queue_depth:
+        Bound on the service's admission queue (pending executions,
+        coalesced waiters excluded).  A full queue rejects new work
+        with :class:`~repro.serve.ServiceOverloadError` instead of
+        buffering unboundedly.
+    service_deadline_ms:
+        Default per-request deadline in milliseconds (``None`` = no
+        deadline); requests that cannot be answered in time fail with
+        :class:`~repro.serve.DeadlineExceededError`.
     """
 
     engine: str = "auto"
@@ -164,6 +177,9 @@ class ExecutionConfig:
     cache: str = "off"
     cache_budget: int | None = None
     cache_ttl: float | None = None
+    service_threads: int = 4
+    service_queue_depth: int = 64
+    service_deadline_ms: float | None = None
 
     def __post_init__(self) -> None:
         if self.engine not in _ENGINES:
@@ -212,6 +228,32 @@ class ExecutionConfig:
             raise ValueError(
                 f"cache_ttl must be positive, got {self.cache_ttl}"
             )
+        if (
+            isinstance(self.service_threads, bool)
+            or not isinstance(self.service_threads, int)
+            or self.service_threads < 1
+        ):
+            raise ValueError(
+                f"service_threads must be a positive int, "
+                f"got {self.service_threads!r}"
+            )
+        if (
+            isinstance(self.service_queue_depth, bool)
+            or not isinstance(self.service_queue_depth, int)
+            or self.service_queue_depth < 1
+        ):
+            raise ValueError(
+                f"service_queue_depth must be a positive int, "
+                f"got {self.service_queue_depth!r}"
+            )
+        if (
+            self.service_deadline_ms is not None
+            and self.service_deadline_ms <= 0
+        ):
+            raise ValueError(
+                f"service_deadline_ms must be positive, "
+                f"got {self.service_deadline_ms}"
+            )
 
     # ------------------------------------------------------ constructors
 
@@ -227,7 +269,11 @@ class ExecutionConfig:
         return cls.from_env()
 
     @classmethod
-    def from_env(cls, env: dict | None = None) -> "ExecutionConfig":
+    def from_env(
+        cls,
+        env: dict | None = None,
+        base: "ExecutionConfig | None" = None,
+    ) -> "ExecutionConfig":
         """Build a config from ``REPRO_*`` environment variables.
 
         Recognized: ``REPRO_ENGINE``, ``REPRO_WORKERS`` (int or
@@ -237,8 +283,12 @@ class ExecutionConfig:
         ``REPRO_DATA_PLANE`` (``auto``/``shm``/``pickle``),
         ``REPRO_CACHE`` (``off``/``on``/``auto``; ``1``/``0`` are
         accepted as ``on``/``off``), ``REPRO_CACHE_BUDGET``
-        (``parse_memory`` syntax), ``REPRO_CACHE_TTL`` (seconds).
-        Unset variables keep the field defaults.
+        (``parse_memory`` syntax), ``REPRO_CACHE_TTL`` (seconds),
+        ``REPRO_SERVICE_THREADS``, ``REPRO_SERVICE_QUEUE_DEPTH``,
+        ``REPRO_SERVICE_DEADLINE_MS``.  Unset variables keep the field
+        defaults — or ``base``'s values when a base config is given
+        (the config-precedence rule *file < env < flags* hangs off
+        this parameter: pass :meth:`from_file`'s result as ``base``).
         """
         e = os.environ if env is None else env
         kwargs: dict = {}
@@ -266,7 +316,51 @@ class ExecutionConfig:
             kwargs["cache_budget"] = e["REPRO_CACHE_BUDGET"]
         if e.get("REPRO_CACHE_TTL"):
             kwargs["cache_ttl"] = float(e["REPRO_CACHE_TTL"])
+        if e.get("REPRO_SERVICE_THREADS"):
+            kwargs["service_threads"] = int(e["REPRO_SERVICE_THREADS"])
+        if e.get("REPRO_SERVICE_QUEUE_DEPTH"):
+            kwargs["service_queue_depth"] = int(e["REPRO_SERVICE_QUEUE_DEPTH"])
+        if e.get("REPRO_SERVICE_DEADLINE_MS"):
+            kwargs["service_deadline_ms"] = float(e["REPRO_SERVICE_DEADLINE_MS"])
+        if base is not None:
+            return base.with_(**kwargs) if kwargs else base
         return cls(**kwargs)
+
+    @classmethod
+    def from_file(cls, path: str) -> "ExecutionConfig":
+        """Load a config from a JSON file of field name/value pairs.
+
+        The file is a single JSON object whose keys are
+        :class:`ExecutionConfig` field names (``{"workers": 4,
+        "memory_budget": "64MiB", "cache": "on"}``); values pass
+        through the same validation as keyword construction, so
+        ``parse_memory`` strings work for the byte-sized fields.
+        Unknown keys are an error — a typo in a config file should
+        fail loudly, not silently configure nothing.
+
+        This is the *file* layer of the precedence chain **file < env
+        < flags**: CLI entry points load it first, lay ``REPRO_*``
+        variables over it via ``from_env(base=...)``, and apply
+        explicit flags last via :meth:`with_`.
+        """
+        with open(path, "r", encoding="utf-8") as fh:
+            try:
+                obj = json.load(fh)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"config file {path!r} is not valid JSON: {exc}")
+        if not isinstance(obj, dict):
+            raise ValueError(
+                f"config file {path!r} must hold a JSON object of "
+                f"ExecutionConfig fields, got {type(obj).__name__}"
+            )
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(obj) - known)
+        if unknown:
+            raise ValueError(
+                f"config file {path!r} has unknown field(s) "
+                f"{', '.join(unknown)}; valid fields: {', '.join(sorted(known))}"
+            )
+        return cls(**obj)
 
     def with_(self, **overrides) -> "ExecutionConfig":
         """A copy with the given fields replaced (validated anew)."""

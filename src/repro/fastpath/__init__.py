@@ -19,9 +19,9 @@ offset-value codes)
 are bit-identical to the reference engine; the differential suite in
 ``tests/fastpath/`` enforces that.
 
-Select it via ``modify_sort_order(..., engine="fast")``, or let
-``engine="auto"`` pick it whenever the caller did not ask for
-comparison counters.
+Select it via ``modify_sort_order(..., config=
+ExecutionConfig(engine="fast"))``, or let ``engine="auto"`` pick it
+whenever the caller did not ask for comparison counters.
 """
 
 from .execute import fast_modify, fast_sort

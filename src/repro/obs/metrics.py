@@ -56,6 +56,13 @@ drift).  Counters:
   ``pool.adaptive_serial`` — auto dispatch stayed serial below the
   calibrated break-even.
 * ``profile.samples`` — stacks collected by the sampling profiler.
+* ``serve.requests`` / ``serve.executions`` /
+  ``serve.coalesced_requests`` — order-service traffic (requests
+  admitted, sorts actually run, duplicates that shared another
+  request's execution); ``serve.rejected_overload`` — admissions shed
+  at the bounded queue; ``serve.deadline_exceeded`` — requests that
+  missed their deadline (queued-expired or waited-too-long);
+  ``serve.errors`` — executions that failed.
 * ``server.requests`` / ``server.errors`` — telemetry-endpoint traffic.
 * ``slowlog.entries`` — slow-query captures.
 
@@ -68,6 +75,9 @@ Gauges:
 * ``exec.mem.used_bytes`` / ``exec.mem.peak_bytes`` — accountant level.
 * ``pool.inflight_shards`` / ``pool.reorder_buffered_rows`` — pool
   depth and reorder-buffer size.
+* ``serve.queue_depth`` / ``serve.inflight`` /
+  ``serve.inflight_bytes`` — order-service admission-queue depth,
+  in-flight executions, and bytes of source buffers held.
 * ``streaming.buffered_rows`` — streaming-merge buffer depth.
 
 Histograms:
@@ -76,6 +86,8 @@ Histograms:
 * ``extsort.fan_in`` / ``extsort.run_rows`` — external-sort shape.
 * ``merge.fan_in`` / ``merge.run_rows`` — merge-of-runs shape.
 * ``modify.segment_rows`` / ``segment.rows`` — segment-sort sizes.
+* ``serve.latency_ms`` — per-request submit-to-response latency;
+  ``serve.fanout`` — waiters served per execution (coalescing win).
 
 The ``comparisons.*`` family is dynamic (one counter per
 :class:`~repro.ovc.stats.ComparisonStats` field via

@@ -106,6 +106,24 @@ def health_snapshot(config: Any = None) -> dict:
         .get("value", 0),
     }
 
+    from ..serve.service import current_service
+
+    service = current_service()
+    if service is not None:
+        checks["service"] = service.health()
+    else:
+        rejected = counters.get("serve.rejected_overload", 0)
+        missed = counters.get("serve.deadline_exceeded", 0)
+        checks["service"] = {
+            "status": "degraded" if rejected or missed else "ok",
+            "running": False,
+            "requests": counters.get("serve.requests", 0),
+            "executions": counters.get("serve.executions", 0),
+            "coalesced": counters.get("serve.coalesced_requests", 0),
+            "rejected": rejected,
+            "deadline_exceeded": missed,
+        }
+
     bad = [
         name for name, check in checks.items() if check["status"] != "ok"
     ]

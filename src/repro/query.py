@@ -86,9 +86,8 @@ class Query:
         self,
         *columns: str,
         method: str = "auto",
-        engine: str | None = None,
-        workers: int | str | None = None,
         config: "ExecutionConfig | None" = None,
+        **legacy,
     ) -> "Query":
         """Enforce a sort order, exploiting the input order if related.
 
@@ -106,10 +105,10 @@ class Query:
         repeats verbatim, related orders by modifying the best cached
         order — with the strategy shown per Sort node by
         :meth:`explain` / ``explain_analyze`` after execution.  The
-        standalone ``engine=``/``workers=`` kwargs are deprecated
-        spellings of the config fields.
+        standalone ``engine=``/``workers=`` kwargs were removed after
+        their deprecation release and now raise ``TypeError``.
         """
-        cfg = resolve_config(config, engine=engine, workers=workers)
+        cfg = resolve_config(config, "Query.order_by", **legacy)
         return self._wrap(
             Sort(self._op, SortSpec.of(*columns), method=method, config=cfg)
         )

@@ -1,0 +1,39 @@
+"""Service-level errors: what a request can fail with.
+
+These are part of the stable public API (re-exported from
+:mod:`repro` and :mod:`repro.serve`): a caller of
+:class:`~repro.serve.OrderService` handles exactly three failure
+shapes — the service shed load at admission, the request missed its
+deadline, or the service was shut down — plus whatever the underlying
+execution raises (those propagate unwrapped, so a bad sort spec fails
+the same way it would on a direct :class:`~repro.engine.sort_op.Sort`).
+"""
+
+from __future__ import annotations
+
+
+class ServiceError(RuntimeError):
+    """Base class for order-service failures."""
+
+
+class ServiceOverloadError(ServiceError):
+    """Admission rejected: the bounded queue is full.
+
+    This is the service's load-shedding contract — a full queue rejects
+    *immediately* instead of buffering unboundedly or deadlocking, so
+    callers can back off, retry elsewhere, or degrade.  The message
+    carries the queue depth that was hit.
+    """
+
+
+class DeadlineExceededError(ServiceError):
+    """The request could not be answered within its deadline.
+
+    Raised both for requests that expired while still queued (the
+    scheduler skips their execution entirely) and for waiters whose
+    deadline passed before the shared execution completed.
+    """
+
+
+class ServiceClosedError(ServiceError):
+    """The service has been closed; no new requests are admitted."""

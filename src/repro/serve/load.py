@@ -1,0 +1,149 @@
+"""Closed-loop load driver for the order service.
+
+Drives an :class:`~repro.serve.OrderService` with a duplicate-heavy
+mix — ``threads`` worker threads, each bound to one of ``orders``
+distinct target orders, all requesting the *same* source table — and
+measures what the serving layer is for: with 16 threads spread over 4
+orders, a perfect service runs one execution per order per wave and
+coalesces the other three duplicates onto it.
+
+The driver is closed-loop (each thread waits for its response before
+issuing the next request), so offered load adapts to service speed and
+the interesting ratio is **executions per request** rather than
+throughput alone.  The report is a plain JSON-friendly dict; the bench
+harness snapshots it into ``BENCH_serve.json`` and the CLI prints it
+for ``serve --load``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from ..model import SortSpec, Table
+from .errors import DeadlineExceededError, ServiceOverloadError
+from .service import OrderService
+
+
+def _percentile(sorted_vals: list[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted non-empty list."""
+    if not sorted_vals:
+        return 0.0
+    rank = max(1, -(-int(q * len(sorted_vals)) // 100))  # ceil(q*n/100)
+    return sorted_vals[min(rank, len(sorted_vals)) - 1]
+
+
+def default_orders(table: Table, n: int) -> list[SortSpec]:
+    """``n`` distinct single-leading-column orders over ``table``.
+
+    Rotations of the column list (``B,C,...,A`` etc.), so every order
+    disagrees in its leading column — no accidental prefix sharing.
+    """
+    cols = list(table.schema.columns)
+    if n > len(cols):
+        raise ValueError(
+            f"need {n} distinct orders but table has {len(cols)} columns"
+        )
+    return [SortSpec(cols[i:] + cols[:i]) for i in range(n)]
+
+
+def run_load(
+    service: OrderService,
+    table: Table,
+    orders: list[SortSpec],
+    *,
+    threads: int = 16,
+    requests_per_thread: int = 8,
+    tenant_per_order: bool = True,
+    timeout: float | None = 60.0,
+) -> dict:
+    """Run the closed-loop duplicate-heavy load; return the report dict.
+
+    Thread *t* issues every request against ``orders[t % len(orders)]``,
+    so each order is requested by ``threads / len(orders)`` concurrent
+    threads — the coalescing-friendly worst case for a naive server.  A
+    barrier aligns each wave to maximise overlap.  Rejections and
+    deadline misses are counted, not raised.
+    """
+    if threads < 1 or requests_per_thread < 1:
+        raise ValueError("threads and requests_per_thread must be >= 1")
+    if not orders:
+        raise ValueError("need at least one target order")
+    before = service.counters()
+    lock = threading.Lock()
+    latencies: list[float] = []
+    outcomes = {"ok": 0, "coalesced": 0, "rejected": 0,
+                "deadline_exceeded": 0, "errors": 0}
+    barrier = threading.Barrier(threads)
+
+    def _worker(t: int) -> None:
+        spec = orders[t % len(orders)]
+        tenant = f"order-{t % len(orders)}" if tenant_per_order else "load"
+        for _ in range(requests_per_thread):
+            barrier.wait()
+            try:
+                resp = service.order_by(
+                    table, spec, tenant=tenant, timeout=timeout
+                )
+            except ServiceOverloadError:
+                with lock:
+                    outcomes["rejected"] += 1
+            except DeadlineExceededError:
+                with lock:
+                    outcomes["deadline_exceeded"] += 1
+            except Exception:  # noqa: BLE001 - counted, report stays whole
+                with lock:
+                    outcomes["errors"] += 1
+            else:
+                with lock:
+                    outcomes["ok"] += 1
+                    latencies.append(resp.latency_s)
+                    if resp.coalesced:
+                        outcomes["coalesced"] += 1
+
+    t0 = time.perf_counter()
+    workers = [
+        threading.Thread(target=_worker, args=(t,), name=f"load-{t}")
+        for t in range(threads)
+    ]
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+    wall_s = time.perf_counter() - t0
+
+    after = service.counters()
+    requests = after["requests"] - before["requests"]
+    executions = after["executions"] - before["executions"]
+    latencies.sort()
+    lat_ms = [v * 1000.0 for v in latencies]
+    return {
+        "threads": threads,
+        "requests_per_thread": requests_per_thread,
+        "orders": [",".join(str(c) for c in o.columns) for o in orders],
+        "rows": len(table.rows),
+        "requests": requests,
+        "executions": executions,
+        "executions_per_request": (
+            round(executions / requests, 4) if requests else 0.0
+        ),
+        "coalesced_requests": after["coalesced"] - before["coalesced"],
+        "rejected": outcomes["rejected"],
+        "deadline_exceeded": outcomes["deadline_exceeded"],
+        "errors": outcomes["errors"],
+        "completed": outcomes["ok"],
+        "wall_s": round(wall_s, 4),
+        "throughput_rps": round(outcomes["ok"] / wall_s, 2) if wall_s else 0.0,
+        "latency_ms": {
+            "p50": round(_percentile(lat_ms, 50), 3),
+            "p99": round(_percentile(lat_ms, 99), 3),
+            "mean": round(sum(lat_ms) / len(lat_ms), 3) if lat_ms else 0.0,
+            "max": round(lat_ms[-1], 3) if lat_ms else 0.0,
+        },
+        "service": {
+            "threads": service.config.service_threads,
+            "queue_depth": service.config.service_queue_depth,
+            "deadline_ms": service.config.service_deadline_ms,
+            "cache": service.config.cache,
+        },
+    }

@@ -1,0 +1,104 @@
+"""Request/response shapes of the order service.
+
+An :class:`~repro.serve.OrderService` request is "enforce this sort
+order on this table"; the response carries exactly what a direct
+:class:`~repro.engine.sort_op.Sort` execution would have produced —
+the sorted :class:`~repro.model.Table` (rows *and* offset-value
+codes), the resolved order strategy, and the comparison counters —
+plus serving metadata (was this request coalesced onto another
+execution, how long did it wait).  Bit-identity with serial uncached
+execution is the service's core contract; the serving tests assert it
+field by field.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from ..model import SortSpec, Table
+from ..ovc.stats import ComparisonStats
+
+
+@dataclass
+class OrderResponse:
+    """One answered order request."""
+
+    #: The sorted output (rows and offset-value codes), bit-identical
+    #: to what a serial uncached execution would produce.
+    table: Table
+    #: The executed Sort's resolved strategy (``full-sort``,
+    #: ``modify(...)``, ``cache-hit(...)``, ...).
+    label: str | None
+    #: The comparison counters of the (shared) execution, replayed
+    #: per-waiter: every coalesced response reports the same counts a
+    #: solo execution would have.
+    stats: ComparisonStats
+    #: True when this request rode on another request's execution.
+    coalesced: bool
+    #: Tenant the request was accounted to.
+    tenant: str
+    #: Submit-to-response wall-clock seconds for this request.
+    latency_s: float
+
+
+class Inflight:
+    """One admitted execution and the waiters sharing it.
+
+    Created by the service at admission, keyed in the in-flight
+    registry by ``(source_key, sequence, spec)``.  The leader's
+    execution fills :attr:`table` / :attr:`label` / :attr:`stats_delta`
+    (or :attr:`error`) and sets :attr:`done`; every ticket then builds
+    its own response from the shared result.  ``deadline_at`` is the
+    *most generous* waiter deadline (``None`` once any waiter has no
+    deadline): the scheduler skips execution only when nobody could
+    still use the result.
+    """
+
+    __slots__ = (
+        "key", "source", "spec", "tenant", "submitted_at", "deadline_at",
+        "unbounded", "waiters", "nbytes", "done", "table", "label",
+        "stats_delta", "error",
+    )
+
+    def __init__(
+        self,
+        key: tuple,
+        source: Table,
+        spec: SortSpec,
+        tenant: str,
+        submitted_at: float,
+        deadline_at: float | None,
+    ) -> None:
+        self.key = key
+        self.source = source
+        self.spec = spec
+        self.tenant = tenant
+        self.submitted_at = submitted_at
+        self.deadline_at = deadline_at
+        self.unbounded = deadline_at is None
+        self.waiters = 1
+        #: Accounted queue/in-flight bytes (source rows + codes).
+        self.nbytes = 0
+        self.done = threading.Event()
+        self.table: Table | None = None
+        self.label: str | None = None
+        self.stats_delta: ComparisonStats | None = None
+        self.error: BaseException | None = None
+
+    def add_waiter(self, deadline_at: float | None) -> None:
+        """Attach one more request to this execution (registry lock held)."""
+        self.waiters += 1
+        if deadline_at is None:
+            self.unbounded = True
+            self.deadline_at = None
+        elif not self.unbounded and (
+            self.deadline_at is None or deadline_at > self.deadline_at
+        ):
+            self.deadline_at = deadline_at
+
+    def expired(self, now: float) -> bool:
+        """True when no waiter could still use a result produced now."""
+        return not self.unbounded and (
+            self.deadline_at is not None and now > self.deadline_at
+        )

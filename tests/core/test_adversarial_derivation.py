@@ -14,6 +14,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.modify import modify_sort_order
+from repro.exec import ExecutionConfig
 from repro.model import Schema, SortSpec, Table
 from repro.ovc.derive import derive_ovcs, verify_ovcs
 from repro.ovc.stats import ComparisonStats
@@ -67,7 +68,7 @@ def test_derivation_with_tiny_fan_in(infixes, m_values):
     may compare infix columns, but the result must stay exact)."""
     table = build(infixes, m_values, n_segments=2)
     result = modify_sort_order(
-        table, OUT_SPEC, method="combined", max_fan_in=2
+        table, OUT_SPEC, method="combined", config=ExecutionConfig(max_fan_in=2)
     )
     expected = sorted(
         table.rows, key=lambda r: (r[0], r[4], r[1], r[2], r[3])

@@ -14,6 +14,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.modify import modify_sort_order
+from repro.exec import ExecutionConfig
 from repro.model import Schema, SortSpec, Table
 from repro.ovc.derive import derive_ovcs, verify_ovcs
 
@@ -52,8 +53,8 @@ def _none_segment_table() -> Table:
 )
 def test_auto_engine_falls_back_on_non_packable_keys(make_table):
     table = make_table()
-    expected = modify_sort_order(table, OUT_SPEC, engine="reference")
-    result = modify_sort_order(table, OUT_SPEC, engine="auto")
+    expected = modify_sort_order(table, OUT_SPEC, config=ExecutionConfig(engine="reference"))
+    result = modify_sort_order(table, OUT_SPEC, config=ExecutionConfig(engine="auto"))
     assert result.rows == expected.rows
     assert result.ovcs == expected.ovcs
     assert verify_ovcs(
@@ -67,7 +68,7 @@ def test_auto_engine_falls_back_on_non_packable_keys(make_table):
 )
 def test_explicit_fast_engine_still_raises(make_table):
     with pytest.raises(TypeError):
-        modify_sort_order(make_table(), OUT_SPEC, engine="fast")
+        modify_sort_order(make_table(), OUT_SPEC, config=ExecutionConfig(engine="fast"))
 
 
 def test_auto_engine_still_uses_fast_kernels_for_packable_input():
@@ -76,6 +77,6 @@ def test_auto_engine_still_uses_fast_kernels_for_packable_input():
     rows = sorted((a % 4, b % 6, (a * b) % 5) for a in range(20) for b in range(10))
     table = Table(SCHEMA, rows, IN_SPEC)
     table.ovcs = derive_ovcs(rows, (0, 1, 2))
-    auto = modify_sort_order(table, OUT_SPEC, engine="auto")
-    ref = modify_sort_order(table, OUT_SPEC, engine="reference")
+    auto = modify_sort_order(table, OUT_SPEC, config=ExecutionConfig(engine="auto"))
+    ref = modify_sort_order(table, OUT_SPEC, config=ExecutionConfig(engine="reference"))
     assert auto.rows == ref.rows and auto.ovcs == ref.ovcs

@@ -9,6 +9,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.modify import modify_sort_order
+from repro.exec import ExecutionConfig
 from repro.model import Schema, SortSpec, Table
 from repro.ovc.derive import derive_ovcs, verify_ovcs
 from repro.ovc.stats import ComparisonStats
@@ -38,7 +39,7 @@ def test_multiwave_merge_correct_case3(rows, fan_in):
     table = sorted_table(rows)
     spec = SortSpec.of("B", "C", "A")
     result = modify_sort_order(
-        table, spec, method="merge_runs", max_fan_in=fan_in
+        table, spec, method="merge_runs", config=ExecutionConfig(max_fan_in=fan_in)
     )
     expected = sorted(table.rows, key=lambda r: (r[1], r[2], r[0]))
     assert result.rows == expected
@@ -51,7 +52,7 @@ def test_multiwave_merge_correct_case5(rows, fan_in):
     table = sorted_table(rows)
     spec = SortSpec.of("A", "C", "B")
     result = modify_sort_order(
-        table, spec, method="combined", max_fan_in=fan_in
+        table, spec, method="combined", config=ExecutionConfig(max_fan_in=fan_in)
     )
     expected = sorted(table.rows, key=lambda r: (r[0], r[2], r[1]))
     assert result.rows == expected
@@ -64,7 +65,7 @@ def test_multiwave_merge_correct_dropped_infix(rows, fan_in):
     """A,B,C -> B (dropped infix) across waves stays stable."""
     table = sorted_table(rows)
     result = modify_sort_order(
-        table, SortSpec.of("B"), method="merge_runs", max_fan_in=fan_in
+        table, SortSpec.of("B"), method="merge_runs", config=ExecutionConfig(max_fan_in=fan_in)
     )
     expected = sorted(table.rows, key=lambda r: r[1])  # stable
     assert result.rows == expected
@@ -88,7 +89,8 @@ def test_multiwave_costs_more_column_comparisons_than_single():
     modify_sort_order(table, spec, method="merge_runs", stats=single)
     multi = ComparisonStats()
     modify_sort_order(
-        table, spec, method="merge_runs", max_fan_in=4, stats=multi
+        table, spec, method="merge_runs", stats=multi,
+        config=ExecutionConfig(max_fan_in=4),
     )
     assert multi.column_comparisons >= single.column_comparisons
 
@@ -97,13 +99,16 @@ def test_invalid_fan_in_rejected():
     table = sorted_table([(1, 2, 3)])
     with pytest.raises(ValueError):
         modify_sort_order(
-            table, SortSpec.of("B", "A", "C"), method="merge_runs", max_fan_in=1
+            table, SortSpec.of("B", "A", "C"), method="merge_runs",
+            config=ExecutionConfig(max_fan_in=1),
         )
 
 
 def test_fan_in_larger_than_runs_is_single_step():
     table = sorted_table([(a, b, 0) for a in range(3) for b in range(3)])
-    r1 = modify_sort_order(table, SortSpec.of("B", "A", "C"), max_fan_in=100)
+    r1 = modify_sort_order(
+        table, SortSpec.of("B", "A", "C"), config=ExecutionConfig(max_fan_in=100)
+    )
     r2 = modify_sort_order(table, SortSpec.of("B", "A", "C"))
     assert r1.rows == r2.rows
     assert r1.ovcs == r2.ovcs

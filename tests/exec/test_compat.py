@@ -1,16 +1,29 @@
-"""Legacy-kwarg folding: one release of DeprecationWarning, then config=."""
+"""Legacy-kwarg removal: ``engine=``/``workers=``/``max_fan_in=`` are gone.
+
+The folding shim shipped one release of ``DeprecationWarning``; this
+release removes the kwargs.  The contract now is a crisp ``TypeError``
+whose message names the removed kwarg and shows the ``config=``
+spelling that replaces it — at every entry point that used to accept
+them (``modify_sort_order``, ``modify_sort_order_external``, ``Sort``,
+``StreamingModify``, ``Query.order_by``).  ``parallel_modify`` keeps
+``workers``/``engine``/``max_fan_in`` as first-class parameters — they
+were never deprecated there.
+"""
 
 from __future__ import annotations
 
-import warnings
-
 import pytest
 
+from repro.core.external_modify import modify_sort_order_external
 from repro.core.modify import modify_sort_order
+from repro.engine.modify_op import StreamingModify
+from repro.engine.scans import TableScan
+from repro.engine.sort_op import Sort
 from repro.exec import ExecutionConfig
-from repro.exec.compat import resolve_config
+from repro.exec.compat import reject_legacy_kwargs, resolve_config
 from repro.model import Schema, SortSpec, Table
 from repro.ovc.derive import derive_ovcs
+from repro.query import Query
 
 
 def _table():
@@ -26,65 +39,68 @@ def test_no_args_returns_env_default(monkeypatch):
     assert resolve_config(None) == ExecutionConfig.from_env()
 
 
-def test_explicit_config_passes_through_unwarned():
+def test_explicit_config_passes_through():
     cfg = ExecutionConfig(workers=2)
-    with warnings.catch_warnings():
-        warnings.simplefilter("error")
-        assert resolve_config(cfg) is cfg
+    assert resolve_config(cfg) is cfg
 
 
-@pytest.mark.parametrize(
-    "kwargs,field,value",
-    [
-        ({"engine": "reference"}, "engine", "reference"),
-        ({"workers": 2}, "workers", 2),
-        ({"workers": "auto"}, "workers", "auto"),
-        ({"max_fan_in": 4}, "max_fan_in", 4),
-    ],
-)
-def test_legacy_kwarg_warns_and_folds(kwargs, field, value):
-    with pytest.warns(DeprecationWarning, match="deprecated"):
-        cfg = resolve_config(None, **kwargs)
-    assert getattr(cfg, field) == value
+@pytest.mark.parametrize("name", ["engine", "workers", "max_fan_in"])
+def test_removed_kwarg_raises_with_pointer(name):
+    with pytest.raises(TypeError) as exc:
+        resolve_config(None, "modify_sort_order", **{name: "x"})
+    message = str(exc.value)
+    assert f"{name}=" in message
+    assert "removed" in message
+    assert f"config=ExecutionConfig({name}=" in message
 
 
-def test_explicit_none_legacy_kwargs_do_not_warn():
-    # engine=None / workers=None are the documented "default" spellings.
-    with warnings.catch_warnings():
-        warnings.simplefilter("error")
-        cfg = resolve_config(None, engine=None, workers=None, max_fan_in=None)
-    assert cfg.engine == "auto" and cfg.workers is None
+def test_unknown_kwarg_raises_plainly():
+    with pytest.raises(TypeError, match="unexpected keyword argument"):
+        reject_legacy_kwargs("modify_sort_order", {"bogus": 1})
 
 
-def test_config_plus_legacy_kwarg_is_ambiguous():
-    with pytest.raises(TypeError, match="not both"), warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        resolve_config(ExecutionConfig(), engine="fast")
+def test_modify_sort_order_rejects_engine():
+    with pytest.raises(TypeError, match=r"engine=.*removed.*ExecutionConfig"):
+        modify_sort_order(_table(), SortSpec.of("A", "C", "B"), engine="fast")
 
 
-def test_modify_sort_order_legacy_engine_warns():
-    table = _table()
-    with pytest.warns(DeprecationWarning, match="engine="):
-        legacy = modify_sort_order(table, SortSpec.of("A", "C", "B"), engine="fast")
-    modern = modify_sort_order(
-        table, SortSpec.of("A", "C", "B"), config=ExecutionConfig(engine="fast")
-    )
-    assert legacy.rows == modern.rows
-    assert legacy.ovcs == modern.ovcs
-
-
-def test_modify_sort_order_config_plus_legacy_raises():
-    table = _table()
-    with pytest.raises(TypeError), warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        modify_sort_order(
-            table, SortSpec.of("A", "C", "B"),
-            engine="fast", config=ExecutionConfig(),
+def test_modify_sort_order_external_rejects_workers():
+    with pytest.raises(TypeError, match=r"workers=.*removed"):
+        modify_sort_order_external(
+            _table(), SortSpec.of("A", "C", "B"),
+            memory_capacity=64, workers=2,
         )
 
 
-def test_query_order_by_legacy_workers_warns():
-    from repro.query import Query
+def test_sort_operator_rejects_engine():
+    with pytest.raises(TypeError, match=r"engine=.*removed"):
+        Sort(TableScan(_table()), SortSpec.of("A", "C", "B"), engine="fast")
 
-    with pytest.warns(DeprecationWarning, match="workers="):
+
+def test_streaming_modify_rejects_workers():
+    with pytest.raises(TypeError, match=r"workers=.*removed"):
+        StreamingModify(TableScan(_table()), SortSpec.of("A", "C", "B"),
+                        workers=2)
+
+
+def test_query_order_by_rejects_workers():
+    with pytest.raises(TypeError, match=r"workers=.*removed"):
         Query(_table()).order_by("A", "C", "B", workers=2)
+
+
+def test_query_order_by_rejects_max_fan_in():
+    with pytest.raises(TypeError, match=r"max_fan_in=.*removed"):
+        Query(_table()).order_by("A", "C", "B", max_fan_in=4)
+
+
+def test_config_spelling_still_works_everywhere():
+    table = _table()
+    spec = SortSpec.of("A", "C", "B")
+    cfg = ExecutionConfig(engine="fast")
+    ref = modify_sort_order(table, spec)
+    out = modify_sort_order(table, spec, config=cfg)
+    assert out.rows == ref.rows and out.ovcs == ref.ovcs
+    out = Sort(TableScan(table), spec, config=cfg).to_table()
+    assert out.rows == ref.rows and out.ovcs == ref.ovcs
+    out = Query(table).order_by("A", "C", "B", config=cfg).to_table()
+    assert out.rows == ref.rows and out.ovcs == ref.ovcs

@@ -186,3 +186,112 @@ def test_cache_with_derivation():
     assert derived.cache == "on"
     assert derived.cache_budget == 1024
     assert cfg.cache == "off"  # original untouched
+
+
+# ----------------------------------------------------- service knobs
+
+
+def test_service_defaults():
+    cfg = ExecutionConfig()
+    assert cfg.service_threads == 4
+    assert cfg.service_queue_depth == 64
+    assert cfg.service_deadline_ms is None
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"service_threads": 0},
+        {"service_threads": True},
+        {"service_threads": 1.5},
+        {"service_queue_depth": 0},
+        {"service_queue_depth": False},
+        {"service_deadline_ms": 0},
+        {"service_deadline_ms": -5},
+    ],
+)
+def test_service_knobs_validate(kwargs):
+    with pytest.raises(ValueError):
+        ExecutionConfig(**kwargs)
+
+
+def test_service_knobs_from_env():
+    cfg = ExecutionConfig.from_env({
+        "REPRO_SERVICE_THREADS": "8",
+        "REPRO_SERVICE_QUEUE_DEPTH": "128",
+        "REPRO_SERVICE_DEADLINE_MS": "750",
+    })
+    assert cfg.service_threads == 8
+    assert cfg.service_queue_depth == 128
+    assert cfg.service_deadline_ms == 750.0
+
+
+# ------------------------------------------------- from_file + layering
+
+
+def _write_config(tmp_path, obj):
+    import json
+
+    path = tmp_path / "repro.json"
+    path.write_text(json.dumps(obj))
+    return str(path)
+
+
+def test_from_file_round_trips_fields(tmp_path):
+    path = _write_config(tmp_path, {
+        "workers": 4,
+        "memory_budget": "64KiB",
+        "cache": "on",
+        "service_threads": 2,
+    })
+    cfg = ExecutionConfig.from_file(path)
+    assert cfg.workers == 4
+    assert cfg.memory_budget == 64 * 1024
+    assert cfg.cache == "on"
+    assert cfg.service_threads == 2
+
+
+def test_from_file_rejects_unknown_keys(tmp_path):
+    path = _write_config(tmp_path, {"worker_count": 4})
+    with pytest.raises(ValueError, match="unknown field.*worker_count"):
+        ExecutionConfig.from_file(path)
+
+
+def test_from_file_rejects_non_object(tmp_path):
+    path = _write_config(tmp_path, [1, 2, 3])
+    with pytest.raises(ValueError, match="JSON object"):
+        ExecutionConfig.from_file(path)
+
+
+def test_from_file_rejects_bad_json(tmp_path):
+    path = tmp_path / "repro.json"
+    path.write_text("{not json")
+    with pytest.raises(ValueError, match="not valid JSON"):
+        ExecutionConfig.from_file(str(path))
+
+
+def test_from_file_values_are_validated(tmp_path):
+    path = _write_config(tmp_path, {"service_threads": 0})
+    with pytest.raises(ValueError, match="service_threads"):
+        ExecutionConfig.from_file(path)
+
+
+def test_precedence_file_under_env(tmp_path):
+    # file < env: env wins where set, file survives where not.
+    path = _write_config(tmp_path, {"workers": 2, "service_threads": 6})
+    base = ExecutionConfig.from_file(path)
+    cfg = ExecutionConfig.from_env({"REPRO_WORKERS": "8"}, base=base)
+    assert cfg.workers == 8          # env overrode the file
+    assert cfg.service_threads == 6  # file value survived
+
+    # empty env returns the base untouched
+    assert ExecutionConfig.from_env({}, base=base) is base
+
+
+def test_precedence_env_under_flags(tmp_path):
+    # env < flags: with_() (the flag layer) wins last.
+    path = _write_config(tmp_path, {"workers": 2})
+    base = ExecutionConfig.from_file(path)
+    env_cfg = ExecutionConfig.from_env({"REPRO_WORKERS": "8"}, base=base)
+    final = env_cfg.with_(workers=3)
+    assert final.workers == 3

@@ -18,6 +18,7 @@ from repro.core.external_modify import modify_sort_order_external
 from repro.core.modify import modify_sort_order
 from repro.engine.modify_op import StreamingModify
 from repro.engine.scans import TableScan
+from repro.exec import ExecutionConfig
 from repro.engine.sort_op import Sort
 from repro.model import Schema, SortSpec, Table
 from repro.ovc.derive import derive_ovcs
@@ -73,12 +74,12 @@ def _make_table(in_columns, seed, n, desc=False, strings=False):
 def _assert_identical(table, spec, method):
     """Fast output == reference output, bit for bit, or both reject."""
     try:
-        ref = modify_sort_order(table, spec, method=method, engine="reference")
+        ref = modify_sort_order(table, spec, method=method, config=ExecutionConfig(engine="reference"))
     except ValueError:
         with pytest.raises(ValueError):
-            modify_sort_order(table, spec, method=method, engine="fast")
+            modify_sort_order(table, spec, method=method, config=ExecutionConfig(engine="fast"))
         return
-    fast = modify_sort_order(table, spec, method=method, engine="fast")
+    fast = modify_sort_order(table, spec, method=method, config=ExecutionConfig(engine="fast"))
     assert fast.rows == ref.rows
     assert fast.ovcs == ref.ovcs
 
@@ -138,9 +139,11 @@ def test_auto_engine_dispatch_rules():
     assert probe.column_comparisons + probe.ovc_comparisons > 0
     # Forced fast with use_ovc=False is rejected.
     with pytest.raises(ValueError):
-        modify_sort_order(table, spec, engine="fast", use_ovc=False)
+        modify_sort_order(table, spec, use_ovc=False, config=ExecutionConfig(engine="fast"))
     with pytest.raises(ValueError):
-        modify_sort_order(table, spec, engine="bogus")
+        modify_sort_order(
+            table, spec, config=ExecutionConfig(engine="bogus")
+        )
 
 
 def test_reference_counters_unchanged_by_dispatcher():
@@ -149,7 +152,7 @@ def test_reference_counters_unchanged_by_dispatcher():
     spec = SortSpec(("A", "C", "B"))
     a, b = ComparisonStats(), ComparisonStats()
     modify_sort_order(table, spec, stats=a)
-    modify_sort_order(table, spec, stats=b, engine="reference")
+    modify_sort_order(table, spec, stats=b, config=ExecutionConfig(engine="reference"))
     assert (a.row_comparisons, a.column_comparisons, a.ovc_comparisons) == (
         b.row_comparisons,
         b.column_comparisons,
@@ -161,13 +164,13 @@ def test_sort_operator_engines_agree():
     table = _make_table(("A", "B", "C"), 1, n=600)
     spec = SortSpec(("A", "C", "B"))
     ref = Sort(TableScan(table), spec).to_table()
-    fast = Sort(TableScan(table), spec, engine="fast").to_table()
+    fast = Sort(TableScan(table), spec, config=ExecutionConfig(engine="fast")).to_table()
     assert fast.rows == ref.rows
     assert fast.ovcs == ref.ovcs
     # Unordered child -> internal sort path.
     unordered = Table(SCHEMA, list(reversed(table.rows)), None)
     ref = Sort(TableScan(unordered), spec).to_table()
-    fast = Sort(TableScan(unordered), spec, engine="fast").to_table()
+    fast = Sort(TableScan(unordered), spec, config=ExecutionConfig(engine="fast")).to_table()
     assert fast.rows == ref.rows
     assert fast.ovcs == ref.ovcs
 
@@ -176,7 +179,7 @@ def test_streaming_modify_engines_agree():
     table = _make_table(("A", "B", "C"), 2, n=600)
     spec = SortSpec(("A", "C", "B"))
     ref = list(StreamingModify(TableScan(table), spec))
-    fast = list(StreamingModify(TableScan(table), spec, engine="fast"))
+    fast = list(StreamingModify(TableScan(table), spec, config=ExecutionConfig(engine="fast")))
     assert fast == ref
 
 
@@ -186,7 +189,7 @@ def test_external_modify_engines_agree():
     for capacity in (64, 10_000):
         ref = modify_sort_order_external(table, spec, memory_capacity=capacity)
         fast = modify_sort_order_external(
-            table, spec, memory_capacity=capacity, engine="fast"
+            table, spec, memory_capacity=capacity, config=ExecutionConfig(engine="fast")
         )
         assert fast.rows == ref.rows
         assert fast.ovcs == ref.ovcs

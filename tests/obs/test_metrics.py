@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.obs import METRICS, MetricsRegistry
+from repro.exec import ExecutionConfig
 from repro.ovc.stats import ComparisonStats
 
 
@@ -74,7 +75,10 @@ def test_pipeline_records_segment_and_merge_metrics():
         schema, SortSpec.of("A", "B", "C"), 512, domains=[8, 4, 4], seed=1
     )
     METRICS.enable(clear=True)
-    modify_sort_order(table, SortSpec.of("A", "C", "B"), engine="reference")
+    modify_sort_order(
+        table, SortSpec.of("A", "C", "B"),
+        config=ExecutionConfig(engine="reference"),
+    )
     snap = METRICS.as_dict()
     seg = snap["histograms"]["modify.segment_rows"]
     assert seg["count"] >= 1

@@ -8,6 +8,7 @@ import pytest
 
 import repro.parallel.planner as planner
 from repro.core.modify import modify_sort_order
+from repro.exec import ExecutionConfig
 from repro.model import Schema, SortSpec
 from repro.obs import METRICS, TRACER
 from repro.ovc.stats import ComparisonStats
@@ -39,7 +40,8 @@ def test_comparison_counters_match_serial_across_shards(
 
     parallel_stats = ComparisonStats()
     parallel = modify_sort_order(
-        table, OUT_SPEC, stats=parallel_stats, workers=2
+        table, OUT_SPEC, stats=parallel_stats,
+        config=ExecutionConfig(workers=2),
     )
     assert parallel.rows == serial.rows
     assert parallel.ovcs == serial.ovcs
@@ -53,7 +55,7 @@ def test_worker_spans_are_stitched_tagged_and_multi_pid(
 ):
     table = make_table(n=2048)
     TRACER.enable(clear=True)
-    modify_sort_order(table, OUT_SPEC, workers=2)
+    modify_sort_order(table, OUT_SPEC, config=ExecutionConfig(workers=2))
     records = TRACER.drain()
 
     shard_spans = [r for r in records if r["name"] == "shard.execute"]
@@ -72,7 +74,10 @@ def test_worker_spans_are_stitched_tagged_and_multi_pid(
 def test_worker_metrics_merge_into_main_registry(small_parallel_threshold):
     table = make_table(n=2048)
     METRICS.enable(clear=True)
-    modify_sort_order(table, OUT_SPEC, workers=2, stats=ComparisonStats())
+    modify_sort_order(
+        table, OUT_SPEC, stats=ComparisonStats(),
+        config=ExecutionConfig(workers=2),
+    )
     snap = METRICS.as_dict()
     # Worker-side merge metrics crossed the process boundary (this
     # plan resolves to COMBINED, whose executors observe fan-ins)...

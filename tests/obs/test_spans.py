@@ -5,6 +5,7 @@ from __future__ import annotations
 import os
 
 from repro.obs import NULL_SPAN, TRACER, Tracer
+from repro.exec import ExecutionConfig
 
 
 def test_disabled_tracer_returns_the_null_singleton():
@@ -127,6 +128,9 @@ def test_global_tracer_captures_pipeline_spans():
     assert names & {"fastpath.merge", "fastpath.sort"}
 
     TRACER.enable(clear=True)
-    modify_sort_order(table, SortSpec.of("A", "C", "B"), engine="reference")
+    modify_sort_order(
+        table, SortSpec.of("A", "C", "B"),
+        config=ExecutionConfig(engine="reference"),
+    )
     names = {r["name"] for r in TRACER.drain()}
     assert "modify.classify" in names

@@ -1,6 +1,6 @@
 """Differential suite: parallel output must be bit-identical to serial.
 
-Every entry point that accepts ``workers=`` is checked — rows *and*
+Every entry point that accepts ``config=ExecutionConfig(workers=N)`` is checked — rows *and*
 offset-value codes — against the serial engines, across the Table 1
 cases, worker counts, uneven segment sizes, and degenerate inputs.
 The dispatcher's tiny-input threshold is forced to zero so the pool
@@ -17,6 +17,7 @@ from repro.core.external_modify import modify_sort_order_external
 from repro.core.modify import modify_sort_order
 from repro.engine.modify_op import StreamingModify
 from repro.engine.scans import TableScan
+from repro.exec import ExecutionConfig
 from repro.model import Schema, SortSpec, Table
 from repro.ovc.derive import derive_ovcs
 from repro.ovc.stats import ComparisonStats
@@ -65,7 +66,7 @@ def test_table1_cases_bit_identical(inp, out, workers):
     table = _table(inp)
     spec = SortSpec(out)
     serial = modify_sort_order(table, spec)
-    par = modify_sort_order(table, spec, workers=workers)
+    par = modify_sort_order(table, spec, config=ExecutionConfig(workers=workers))
     _assert_identical(serial, par)
 
 
@@ -85,7 +86,9 @@ def test_reference_counter_parity(workers):
     serial_stats = ComparisonStats()
     serial = modify_sort_order(table, spec, stats=serial_stats)
     par_stats = ComparisonStats()
-    par = modify_sort_order(table, spec, stats=par_stats, workers=workers)
+    par = modify_sort_order(
+        table, spec, stats=par_stats, config=ExecutionConfig(workers=workers)
+    )
     _assert_identical(serial, par)
     assert par_stats.as_dict() == serial_stats.as_dict()
 
@@ -94,8 +97,10 @@ def test_reference_counter_parity(workers):
 def test_fast_engine_parallel(workers):
     table = _table(("A", "B", "C"))
     spec = SortSpec.of("A", "C", "B")
-    serial = modify_sort_order(table, spec, engine="fast")
-    par = modify_sort_order(table, spec, engine="fast", workers=workers)
+    serial = modify_sort_order(table, spec, config=ExecutionConfig(engine="fast"))
+    par = modify_sort_order(
+        table, spec, config=ExecutionConfig(engine="fast", workers=workers)
+    )
     _assert_identical(serial, par)
 
 
@@ -104,7 +109,9 @@ def test_forced_methods_parallel(method):
     table = _table(("A", "B", "C"))
     spec = SortSpec.of("A", "C", "B")
     serial = modify_sort_order(table, spec, method=method)
-    par = modify_sort_order(table, spec, method=method, workers=2)
+    par = modify_sort_order(
+        table, spec, method=method, config=ExecutionConfig(workers=2)
+    )
     _assert_identical(serial, par)
 
 
@@ -119,14 +126,17 @@ def test_uneven_segments():
     spec = SortSpec.of("A", "C", "B", "D")
     serial = modify_sort_order(table, spec)
     for workers in (2, 4):
-        _assert_identical(serial, modify_sort_order(table, spec, workers=workers))
+        _assert_identical(
+            serial,
+            modify_sort_order(table, spec, config=ExecutionConfig(workers=workers)),
+        )
 
 
 def test_empty_input():
     table = Table(SCHEMA, [], SortSpec.of("A", "B", "C", "D"))
     table.ovcs = []
     spec = SortSpec.of("A", "C", "B", "D")
-    result = modify_sort_order(table, spec, workers=4)
+    result = modify_sort_order(table, spec, config=ExecutionConfig(workers=4))
     assert result.rows == [] and result.ovcs == []
 
 
@@ -136,7 +146,9 @@ def test_single_segment_input_falls_back():
     )
     spec = SortSpec.of("A", "C", "B", "D")
     serial = modify_sort_order(table, spec)
-    _assert_identical(serial, modify_sort_order(table, spec, workers=4))
+    _assert_identical(
+        serial, modify_sort_order(table, spec, config=ExecutionConfig(workers=4))
+    )
 
 
 def test_more_workers_than_segments():
@@ -145,14 +157,18 @@ def test_more_workers_than_segments():
     )
     spec = SortSpec.of("A", "C", "B", "D")
     serial = modify_sort_order(table, spec)
-    _assert_identical(serial, modify_sort_order(table, spec, workers=8))
+    _assert_identical(
+        serial, modify_sort_order(table, spec, config=ExecutionConfig(workers=8))
+    )
 
 
 def test_external_modify_parallel():
     table = _table(("A", "B", "C"), n_rows=1500)
     spec = SortSpec.of("A", "C", "B")
     serial = modify_sort_order_external(table, spec, memory_capacity=512)
-    par = modify_sort_order_external(table, spec, memory_capacity=512, workers=2)
+    par = modify_sort_order_external(
+        table, spec, memory_capacity=512, config=ExecutionConfig(workers=2)
+    )
     _assert_identical(serial, par)
 
 
@@ -165,7 +181,8 @@ def test_external_modify_parallel_counter_parity():
     )
     par_stats = ComparisonStats()
     par = modify_sort_order_external(
-        table, spec, memory_capacity=512, stats=par_stats, workers=2
+        table, spec, memory_capacity=512, stats=par_stats,
+        config=ExecutionConfig(workers=2),
     )
     _assert_identical(serial, par)
     assert par_stats.as_dict() == serial_stats.as_dict()
@@ -177,7 +194,10 @@ def test_streaming_modify_parallel(shard_rows):
     spec = SortSpec.of("A", "C", "B")
     serial = list(StreamingModify(TableScan(table), spec))
     par = list(
-        StreamingModify(TableScan(table), spec, workers=2, shard_rows=shard_rows)
+        StreamingModify(
+            TableScan(table), spec, shard_rows=shard_rows,
+            config=ExecutionConfig(workers=2),
+        )
     )
     assert [r for r, _ in par] == [r for r, _ in serial]
     assert [o for _, o in par] == [o for _, o in serial]
@@ -186,7 +206,11 @@ def test_streaming_modify_parallel(shard_rows):
 def test_query_order_by_workers():
     table = _table(("A", "B", "C"))
     serial = Query(table).order_by("A", "C", "B").to_table()
-    par = Query(table).order_by("A", "C", "B", workers=2).to_table()
+    par = (
+        Query(table)
+        .order_by("A", "C", "B", config=ExecutionConfig(workers=2))
+        .to_table()
+    )
     assert par.rows == serial.rows
     assert par.ovcs == serial.ovcs
 

@@ -1,0 +1,398 @@
+"""OrderService behavior: coalescing, bit-identity, overload, deadlines.
+
+The acceptance bar (mirrored by ``bench --serve`` and CI):
+
+* under 16-thread closed-loop load with 4 distinct orders each
+  requested by 4 threads, ``serve.coalesced_requests > 0`` and
+  executions < requests — duplicates share work;
+* every response is bit-identical (rows, offset-value codes,
+  comparison counters) to a serial uncached execution;
+* a full admission queue raises ``ServiceOverloadError`` immediately —
+  no deadlock, no unbounded buffering.
+
+The deterministic tests freeze execution with a stub Sort operator
+(patched into ``repro.serve.service``) so queue/registry states are
+exact, not timing-dependent.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.engine.scans import TableScan
+from repro.engine.sort_op import Sort
+from repro.exec import ExecutionConfig
+from repro.model import Schema, SortSpec
+from repro.obs import METRICS
+from repro.serve import (
+    DeadlineExceededError,
+    OrderService,
+    ServiceClosedError,
+    ServiceOverloadError,
+)
+import repro.serve.service as service_mod
+from repro.workloads.generators import random_table
+
+SCHEMA = Schema.of("A", "B", "C", "D")
+DOMAINS = [16, 24, 48, 8]
+
+
+def _table(n_rows=400, seed=0):
+    return random_table(SCHEMA, n_rows, domains=DOMAINS, seed=seed)
+
+
+def _serial_uncached(table, spec):
+    op = Sort(TableScan(table), spec, config=ExecutionConfig(cache="off"))
+    out = op.to_table()
+    return out.rows, out.ovcs, op.stats.as_dict()
+
+
+# ------------------------------------------------------------ acceptance
+
+
+def test_sixteen_thread_duplicate_load_coalesces_and_stays_bit_identical():
+    METRICS.enable(clear=True)
+    table = _table(500)
+    cols = list(SCHEMA.columns)
+    orders = [SortSpec(cols[i:] + cols[:i]) for i in range(4)]
+    refs = {i: _serial_uncached(table, spec) for i, spec in enumerate(orders)}
+
+    cfg = ExecutionConfig(cache="off", service_threads=2,
+                          service_queue_depth=64)
+    n_threads, waves = 16, 6
+    barrier = threading.Barrier(n_threads)
+    failures: list[str] = []
+
+    def _client(t):
+        spec = orders[t % len(orders)]
+        rows, ovcs, stats = refs[t % len(orders)]
+        for _ in range(waves):
+            barrier.wait()
+            resp = svc.order_by(table, spec, tenant=f"t{t}", timeout=60)
+            if resp.table.rows != rows:
+                failures.append(f"thread {t}: rows diverged")
+            if resp.table.ovcs != ovcs:
+                failures.append(f"thread {t}: codes diverged")
+            if resp.stats.as_dict() != stats:
+                failures.append(f"thread {t}: counters diverged")
+
+    with OrderService(cfg) as svc:
+        threads = [
+            threading.Thread(target=_client, args=(t,))
+            for t in range(n_threads)
+        ]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join(timeout=120)
+        counters = svc.counters()
+
+    assert not failures, failures[:5]
+    # Work sharing: strictly fewer executions than requests, and the
+    # METRICS registry (the observable contract) agrees.
+    assert counters["requests"] == n_threads * waves
+    assert counters["executions"] < counters["requests"]
+    assert counters["coalesced"] > 0
+    snap = METRICS.as_dict()["counters"]
+    assert snap["serve.coalesced_requests"] > 0
+    assert snap["serve.executions"] < snap["serve.requests"]
+    assert snap["serve.executions"] + snap["serve.coalesced_requests"] == (
+        snap["serve.requests"]
+    )
+
+
+def test_single_request_matches_serial_uncached_execution():
+    table = _table()
+    spec = SortSpec.of("B", "A", "D")
+    rows, ovcs, stats = _serial_uncached(table, spec)
+    with OrderService(ExecutionConfig(cache="off")) as svc:
+        resp = svc.order_by(table, spec)
+    assert resp.table.rows == rows
+    assert resp.table.ovcs == ovcs
+    assert resp.stats.as_dict() == stats
+    assert resp.coalesced is False
+    assert resp.label == "full-sort"
+
+
+# ---------------------------------------------- deterministic coalescing
+
+
+class _FrozenSort:
+    """Stand-in Sort whose execution blocks until released."""
+
+    started = None  # type: threading.Event
+    release = None  # type: threading.Event
+    executed: list = []
+
+    def __init__(self, child, spec, config=None):
+        self._child = child
+        self._spec = spec
+        self.order_strategy = "frozen"
+        from repro.ovc.stats import ComparisonStats
+
+        self.stats = ComparisonStats()
+        self.stats.row_comparisons = 7  # recognizable replay payload
+
+    def to_table(self):
+        type(self).started.set()
+        assert type(self).release.wait(timeout=30), "never released"
+        type(self).executed.append(",".join(str(c) for c in self._spec.columns))
+        return self._child.source
+
+
+def _frozen(monkeypatch):
+    _FrozenSort.started = threading.Event()
+    _FrozenSort.release = threading.Event()
+    _FrozenSort.executed = []
+    monkeypatch.setattr(service_mod, "Sort", _FrozenSort)
+    return _FrozenSort
+
+
+class _Scan:
+    def __init__(self, table):
+        self.source = table
+
+
+def test_duplicates_coalesce_onto_one_execution(monkeypatch):
+    frozen = _frozen(monkeypatch)
+    monkeypatch.setattr(service_mod, "TableScan", _Scan)
+    table = _table(50)
+    spec = SortSpec.of("B", "A")
+    cfg = ExecutionConfig(service_threads=1, service_queue_depth=8)
+    with OrderService(cfg) as svc:
+        blocker = svc.submit(_table(50, seed=9), SortSpec.of("A",))
+        assert frozen.started.wait(timeout=10)  # worker now occupied
+        tickets = [svc.submit(table, spec) for _ in range(4)]
+        # First submit created the in-flight entry; the other three
+        # attached to it without consuming queue slots or executions.
+        assert [t.coalesced for t in tickets] == [False, True, True, True]
+        assert svc.counters()["coalesced"] == 3
+        frozen.release.set()
+        responses = [t.result(timeout=30) for t in tickets]
+        blocker.result(timeout=30)
+
+    # One execution answered all four waiters, bit-identically.
+    assert frozen.executed.count("B,A") == 1
+    for resp in responses:
+        assert resp.table.rows == responses[0].table.rows
+        assert resp.stats.row_comparisons == 7  # leader's delta, replayed
+    assert [r.coalesced for r in responses] == [False, True, True, True]
+
+
+def test_completed_entries_leave_the_registry(monkeypatch):
+    frozen = _frozen(monkeypatch)
+    monkeypatch.setattr(service_mod, "TableScan", _Scan)
+    frozen.release.set()  # executions run through immediately
+    table = _table(50)
+    with OrderService(ExecutionConfig(service_threads=1)) as svc:
+        svc.order_by(table, "A")
+        svc.order_by(table, "A")
+        counters = svc.counters()
+    # Sequential identical requests re-execute (the order cache, not
+    # the in-flight registry, handles sequential repeats).
+    assert counters["executions"] == 2
+    assert counters["coalesced"] == 0
+    assert counters["inflight"] == 0
+
+
+# ------------------------------------------------------------- overload
+
+
+def test_full_queue_rejects_immediately_without_deadlock(monkeypatch):
+    METRICS.enable(clear=True)
+    frozen = _frozen(monkeypatch)
+    monkeypatch.setattr(service_mod, "TableScan", _Scan)
+    cfg = ExecutionConfig(service_threads=1, service_queue_depth=1)
+    with OrderService(cfg) as svc:
+        first = svc.submit(_table(40, seed=1), SortSpec.of("A",))
+        assert frozen.started.wait(timeout=10)  # dequeued, executing
+        second = svc.submit(_table(40, seed=2), SortSpec.of("A",))  # fills queue
+        start = time.monotonic()
+        with pytest.raises(ServiceOverloadError, match="queue full"):
+            svc.submit(_table(40, seed=3), SortSpec.of("A",))
+        assert time.monotonic() - start < 5  # immediate, not a deadlock
+        # A duplicate of an admitted key still coalesces — sharing an
+        # in-flight execution needs no queue slot.
+        dup = svc.submit(_table(40, seed=2), SortSpec.of("A",))
+        assert dup.coalesced is True
+        frozen.release.set()
+        first.result(timeout=30)
+        second.result(timeout=30)
+        dup.result(timeout=30)
+        counters = svc.counters()
+    assert counters["rejected"] == 1
+    assert METRICS.as_dict()["counters"]["serve.rejected_overload"] == 1
+
+
+# ------------------------------------------------------------- deadlines
+
+
+def test_queued_request_past_deadline_is_skipped(monkeypatch):
+    METRICS.enable(clear=True)
+    frozen = _frozen(monkeypatch)
+    monkeypatch.setattr(service_mod, "TableScan", _Scan)
+    cfg = ExecutionConfig(service_threads=1, service_queue_depth=8)
+    with OrderService(cfg) as svc:
+        blocker = svc.submit(_table(40, seed=1), SortSpec.of("A",))
+        assert frozen.started.wait(timeout=10)
+        doomed = svc.submit(
+            _table(40, seed=2), SortSpec.of("A",), deadline_ms=30
+        )
+        time.sleep(0.08)  # let the deadline lapse while still queued
+        frozen.release.set()
+        with pytest.raises(DeadlineExceededError):
+            doomed.result(timeout=30)
+        blocker.result(timeout=30)
+        counters = svc.counters()
+    # The expired entry was never executed — deadline misses shed work:
+    # only the blocker ran.
+    assert frozen.executed == ["A"]
+    assert counters["deadline_exceeded"] == 1
+    assert counters["executions"] == 1
+    assert METRICS.as_dict()["counters"]["serve.deadline_exceeded"] == 1
+
+
+def test_waiter_deadline_while_execution_runs(monkeypatch):
+    frozen = _frozen(monkeypatch)
+    monkeypatch.setattr(service_mod, "TableScan", _Scan)
+    with OrderService(ExecutionConfig(service_threads=1)) as svc:
+        ticket = svc.submit(_table(40), SortSpec.of("A",), deadline_ms=40)
+        assert frozen.started.wait(timeout=10)
+        with pytest.raises(DeadlineExceededError):
+            ticket.result()  # blocks at most ~40ms, then gives up
+        frozen.release.set()
+    assert svc.counters()["deadline_exceeded"] == 1
+
+
+def test_coalesced_waiter_extends_the_entry_deadline(monkeypatch):
+    frozen = _frozen(monkeypatch)
+    monkeypatch.setattr(service_mod, "TableScan", _Scan)
+    table = _table(40)
+    cfg = ExecutionConfig(service_threads=1, service_queue_depth=8)
+    with OrderService(cfg) as svc:
+        blocker = svc.submit(_table(40, seed=5), SortSpec.of("A",))
+        assert frozen.started.wait(timeout=10)
+        short = svc.submit(table, SortSpec.of("B",), deadline_ms=30)
+        patient = svc.submit(table, SortSpec.of("B",))  # no deadline
+        time.sleep(0.08)
+        frozen.release.set()
+        # The entry survived the short waiter's deadline because the
+        # patient waiter still wants the result.
+        resp = patient.result(timeout=30)
+        assert resp.coalesced is True
+        with pytest.raises(DeadlineExceededError):
+            short.result(timeout=30)
+        blocker.result(timeout=30)
+
+
+# -------------------------------------------------------------- fairness
+
+
+def test_tenant_fair_dequeue_order(monkeypatch):
+    frozen = _frozen(monkeypatch)
+    monkeypatch.setattr(service_mod, "TableScan", _Scan)
+    cfg = ExecutionConfig(service_threads=1, service_queue_depth=16)
+    with OrderService(cfg) as svc:
+        blocker = svc.submit(_table(40, seed=9), SortSpec.of("A",))
+        assert frozen.started.wait(timeout=10)
+        # Tenant "hog" floods four distinct orders; "meek" adds one.
+        hog = [
+            svc.submit(_table(40, seed=10 + i), SortSpec.of("A",),
+                       tenant="hog")
+            for i in range(4)
+        ]
+        meek = svc.submit(_table(40, seed=20), SortSpec.of("B",),
+                          tenant="meek")
+        frozen.release.set()
+        for t in [blocker, meek, *hog]:
+            t.result(timeout=30)
+    # The meek tenant's single request ran after at most one hog
+    # request — round-robin, not arrival order.
+    assert frozen.executed.index("B") <= 2
+
+
+# ------------------------------------------------------ errors & close
+
+
+class _FailingSort:
+    def __init__(self, child, spec, config=None):
+        raise ValueError("synthetic execution failure")
+
+
+def test_execution_error_propagates_to_every_waiter(monkeypatch):
+    monkeypatch.setattr(service_mod, "Sort", _FailingSort)
+    monkeypatch.setattr(service_mod, "TableScan", _Scan)
+    with OrderService(ExecutionConfig(service_threads=1)) as svc:
+        with pytest.raises(ValueError, match="synthetic"):
+            svc.order_by(_table(40), "A", timeout=30)
+        assert svc.counters()["errors"] == 1
+
+
+def test_closed_service_rejects_submits():
+    svc = OrderService(ExecutionConfig(service_threads=1))
+    svc.close()
+    with pytest.raises(ServiceClosedError):
+        svc.submit(_table(40), SortSpec.of("A",))
+    svc.close()  # idempotent
+
+
+def test_close_drains_admitted_work(monkeypatch):
+    frozen = _frozen(monkeypatch)
+    monkeypatch.setattr(service_mod, "TableScan", _Scan)
+    svc = OrderService(ExecutionConfig(service_threads=1,
+                                       service_queue_depth=8))
+    first = svc.submit(_table(40, seed=1), SortSpec.of("A",))
+    assert frozen.started.wait(timeout=10)
+    second = svc.submit(_table(40, seed=2), SortSpec.of("A",))
+    frozen.release.set()
+    svc.close()  # default drain=True: admitted work completes
+    assert first.result(timeout=1).table is not None
+    assert second.result(timeout=1).table is not None
+
+
+def test_close_without_drain_fails_queued_waiters(monkeypatch):
+    frozen = _frozen(monkeypatch)
+    monkeypatch.setattr(service_mod, "TableScan", _Scan)
+    svc = OrderService(ExecutionConfig(service_threads=1,
+                                       service_queue_depth=8))
+    running = svc.submit(_table(40, seed=1), SortSpec.of("A",))
+    assert frozen.started.wait(timeout=10)
+    queued = svc.submit(_table(40, seed=2), SortSpec.of("A",))
+    frozen.release.set()
+    svc.close(drain=False)
+    running.result(timeout=30)  # in-flight execution still completes
+    with pytest.raises(ServiceClosedError):
+        queued.result(timeout=30)
+
+
+# --------------------------------------------------------- accounting
+
+
+def test_inflight_bytes_are_charged_and_released():
+    table = _table(300)
+    with OrderService(ExecutionConfig(service_threads=2)) as svc:
+        svc.order_by(table, "B", "A")
+        counters = svc.counters()
+    assert counters["inflight_bytes"] == 0  # all charges released
+    assert svc.accountant.peak > 0
+    assert svc.accountant.by_category.get("serve.inflight", 1) == 0
+
+
+def test_health_reflects_rejections(monkeypatch):
+    frozen = _frozen(monkeypatch)
+    monkeypatch.setattr(service_mod, "TableScan", _Scan)
+    cfg = ExecutionConfig(service_threads=1, service_queue_depth=1)
+    with OrderService(cfg) as svc:
+        assert svc.health()["status"] == "ok"
+        first = svc.submit(_table(40, seed=1), SortSpec.of("A",))
+        assert frozen.started.wait(timeout=10)
+        second = svc.submit(_table(40, seed=2), SortSpec.of("A",))
+        with pytest.raises(ServiceOverloadError):
+            svc.submit(_table(40, seed=3), SortSpec.of("A",))
+        assert svc.health()["status"] == "degraded"
+        frozen.release.set()
+        first.result(timeout=30)
+        second.result(timeout=30)

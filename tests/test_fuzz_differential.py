@@ -15,6 +15,7 @@ from repro.core.external_modify import modify_sort_order_external
 from repro.core.modify import modify_sort_order
 from repro.engine.modify_op import StreamingModify
 from repro.engine.scans import TableScan
+from repro.exec import ExecutionConfig
 from repro.model import Schema, SortSpec, Table
 from repro.ovc.derive import derive_ovcs, verify_ovcs
 
@@ -65,7 +66,7 @@ def test_all_paths_agree(seed, order):
     baseline = modify_sort_order(table, spec, use_ovc=False)
     assert baseline.rows == expected
 
-    capped = modify_sort_order(table, spec, max_fan_in=3)
+    capped = modify_sort_order(table, spec, config=ExecutionConfig(max_fan_in=3))
     assert capped.rows == expected
     assert verify_ovcs(capped.rows, capped.ovcs, positions)
 
