@@ -18,6 +18,10 @@ the loop:
   core-count-dependent (the committed host's numbers mean nothing
   here), but ``fidelity_ok`` must be true in the committed record and
   in a fresh record when one is supplied.
+* **plan** — per-cell (matched by ``batch`` size) and geomean
+  wall-clock comparison for the batch derivation planner, plus every
+  fidelity bit in both the committed and the fresh record (the planner
+  claims bit-identity, so a fidelity failure is never noise).
 * **overhead** (optional, ``--overhead FILE``) — consume the JSON that
   ``check_trace_overhead.py --json`` writes and require both telemetry
   budgets to hold.
@@ -48,6 +52,7 @@ COMMITTED = {
     "fastpath": "BENCH_fastpath.json",
     "parallel": "BENCH_parallel.json",
     "cache": "BENCH_cache.json",
+    "plan": "BENCH_plan.json",
 }
 
 #: Default one-sided noise bands: a fresh speedup may fall this far
@@ -147,6 +152,41 @@ def compare_cache(
     return problems
 
 
+def compare_plan(
+    committed: dict, fresh: dict, noise: float, geomean_noise: float
+) -> list[str]:
+    """Fidelity + per-batch and geomean speedup for the batch planner."""
+    problems: list[str] = []
+    if not committed.get("fidelity_ok", False):
+        problems.append("plan: committed record reports fidelity failure")
+    if not fresh.get("fidelity_ok", False):
+        problems.append("plan: fresh record reports fidelity failure")
+    by_batch = {c["batch"]: c for c in committed["cells"]}
+    fresh_speedups: list[float] = []
+    for cell in fresh["cells"]:
+        base = by_batch.get(cell["batch"])
+        if base is None:
+            continue
+        fresh_speedups.append(cell["speedup"])
+        if _below(cell["speedup"], base["speedup"], noise):
+            problems.append(
+                f"plan batch {cell['batch']}: speedup {cell['speedup']}x "
+                f"fell below committed {base['speedup']}x "
+                f"(noise band {noise:.0%})"
+            )
+    missing = set(by_batch) - {c["batch"] for c in fresh["cells"]}
+    for batch in sorted(missing):
+        problems.append(f"plan batch {batch}: missing from fresh run")
+    fresh_geo = _geomean(fresh_speedups)
+    if _below(fresh_geo, committed["geomean_speedup"], geomean_noise):
+        problems.append(
+            f"plan geomean: {fresh_geo:.2f}x fell below committed "
+            f"{committed['geomean_speedup']}x "
+            f"(noise band {geomean_noise:.0%})"
+        )
+    return problems
+
+
 def check_parallel(committed: dict, fresh: dict | None) -> list[str]:
     """Fidelity-only: parallel speedups are core-count-dependent."""
     problems: list[str] = []
@@ -212,8 +252,16 @@ def main(argv: list[str] | None = None) -> int:
         help="check this record's fidelity alongside the committed one",
     )
     parser.add_argument(
+        "--fresh-plan", metavar="FILE", default=None,
+        help="use this record as the fresh batch-planner run",
+    )
+    parser.add_argument(
         "--skip-cache", action="store_true",
         help="skip the cache comparison (no live run, no file)",
+    )
+    parser.add_argument(
+        "--skip-plan", action="store_true",
+        help="skip the batch-planner comparison (no live run, no file)",
     )
     parser.add_argument(
         "--overhead", metavar="FILE", default=None,
@@ -266,6 +314,20 @@ def main(argv: list[str] | None = None) -> int:
             fresh_cache = run_cache_trajectory(n_rows, seed=args.seed)
         problems += compare_cache(
             committed_cache, fresh_cache, noise, geomean_noise
+        )
+
+    if not args.skip_plan:
+        committed_plan = _load(COMMITTED["plan"])
+        if args.fresh_plan:
+            fresh_plan = _load(args.fresh_plan)
+            print(f"plan: comparing {args.fresh_plan} (pre-computed)")
+        else:
+            print(f"plan: running fresh sweep at {n_rows:,} rows ...")
+            from repro.bench.plan_bench import run_plan_trajectory
+
+            fresh_plan = run_plan_trajectory(n_rows, seed=args.seed)
+        problems += compare_plan(
+            committed_plan, fresh_plan, noise, geomean_noise
         )
 
     committed_parallel = _load(COMMITTED["parallel"])

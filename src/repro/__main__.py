@@ -107,7 +107,7 @@ def _exec_config(args, workers: int | str | None = None) -> ExecutionConfig:
     for field in (
         "memory_budget", "spill_dir", "shard_timeout_s", "shard_retries",
         "cache", "cache_budget", "cache_ttl", "service_threads",
-        "service_queue_depth", "service_deadline_ms",
+        "service_queue_depth", "service_deadline_ms", "plan_window_ms",
     ):
         value = getattr(args, field, None)
         if value is not None:
@@ -327,6 +327,36 @@ def _bench_serve(
     problems = check_serve_record(record)
     for problem in problems:
         print(f"SERVE BENCH FAILURE: {problem}")
+    return 1 if problems else 0
+
+
+def _bench_plan(
+    n_rows: int, seed: int, json_path: str | None, cfg: ExecutionConfig,
+) -> int:
+    from .bench.plan_bench import (
+        check_plan_record,
+        format_plan_summary,
+        run_plan_trajectory,
+        write_plan_trajectory,
+    )
+
+    # The planner's win is sharing across the batch itself; the cache
+    # stays out of the measurement unless the invocation asked for it.
+    record = run_plan_trajectory(n_rows, seed=seed, config=cfg)
+    print(
+        format_table(
+            format_plan_summary(record),
+            f"batched derivation vs independent execution "
+            f"({n_rows:,} rows; geomean {record['geomean_speedup']}x, "
+            f"min {record['min_speedup']}x)",
+        )
+    )
+    if json_path:
+        write_plan_trajectory(json_path, record)
+        print(f"wrote {json_path}")
+    problems = check_plan_record(record)
+    for problem in problems:
+        print(f"PLAN BENCH FAILURE: {problem}")
     return 1 if problems else 0
 
 
@@ -657,6 +687,22 @@ def main(argv: list[str] | None = None) -> int:
         " benchmark (coalescing + latency) instead of the engine cells",
     )
     parser.add_argument(
+        "--plan",
+        action="store_true",
+        help="with 'bench': run the batch derivation-planner benchmark"
+        " (shared derivation tree vs independent execution) instead of"
+        " the engine cells",
+    )
+    parser.add_argument(
+        "--plan-window-ms",
+        type=float,
+        metavar="MS",
+        default=None,
+        help="order-service micro-batch window: drain the admission"
+        " queue this long and plan same-source siblings as one shared"
+        " derivation tree (default: off)",
+    )
+    parser.add_argument(
         "--load",
         action="store_true",
         help="with 'serve': drive the order service with a closed-loop"
@@ -772,6 +818,8 @@ def _dispatch(args, n_rows: int, cfg: ExecutionConfig) -> int:
     if args.experiment == "bench":
         if args.serve:
             rc = _bench_serve(n_rows, args.seed, args.json, cfg, args)
+        elif args.plan:
+            rc = _bench_plan(n_rows, args.seed, args.json, cfg)
         elif args.cache is not None:
             rc = _bench_cache(n_rows, args.seed, args.json)
         elif args.workers:

@@ -1,0 +1,188 @@
+"""Batch derivation-planner benchmark: shared tree vs independent runs.
+
+The planner's claim is throughput: N distinct-but-related orders over
+one source cost far fewer comparisons as a shared derivation tree —
+each order modified from its cheapest already-produced relative — than
+as N independent ``Sort`` executions.  This module measures exactly
+that, wall-clock, on the serve benchmark's duplicate-heavy table: for
+each batch size it times every order executed independently (the
+serving layer's pre-planner behavior), then the same batch through
+:func:`repro.plan.derive_batch` (planning overhead included), and
+verifies every planned output bit-identical to its solo run — rows and
+codes always, comparison counters too for nodes derived straight from
+the source.
+
+The committed artifact is ``BENCH_plan.json``; the CI gate requires
+``fidelity_ok`` always and, at the committed scale (>= 2^16 rows), a
+>= 1.5x geomean speedup.  Smoke runs at smaller scales gate on
+fidelity only — wall-clock ratios at a few thousand rows are noise.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import platform
+import time
+
+from ..engine.scans import TableScan
+from ..engine.sort_op import Sort
+from ..exec import ExecutionConfig
+from ..model import Schema, SortSpec, Table
+from ..plan import derive_batch
+from ..workloads.generators import random_table
+
+_SCHEMA = Schema.of("A", "B", "C", "D")
+_DOMAINS = {"A": 32, "B": 64, "C": 256, "D": 8}
+#: Geomean wall-clock gate at the committed scale.
+GATE_MIN_GEOMEAN = 1.5
+#: Row count at and above which the speedup gate applies.
+GATE_MIN_ROWS = 1 << 16
+
+
+def related_orders(columns, k: int) -> list[SortSpec]:
+    """``k`` distinct orders related to ``columns``: the rotations
+    first (the cheapest family — long shared prefixes between
+    neighbors), then the remaining permutations, identity excluded."""
+    cols = tuple(columns)
+    seen = {cols}
+    out: list[SortSpec] = []
+    for i in range(1, len(cols)):
+        rotation = cols[i:] + cols[:i]
+        if rotation not in seen:
+            seen.add(rotation)
+            out.append(SortSpec.of(*rotation))
+            if len(out) == k:
+                return out
+    for perm in itertools.permutations(cols):
+        if perm not in seen:
+            seen.add(perm)
+            out.append(SortSpec.of(*perm))
+            if len(out) == k:
+                return out
+    raise ValueError(
+        f"only {len(out)} related orders exist for {len(cols)} columns"
+    )
+
+
+def _solo(source: Table, spec: SortSpec, cfg: ExecutionConfig):
+    op = Sort(TableScan(source), spec, config=cfg)
+    out = op.to_table()
+    return out, op.stats.as_dict()
+
+
+def run_plan_trajectory(
+    n_rows: int,
+    seed: int = 0,
+    batch_sizes: tuple = (4, 8, 16),
+    config: ExecutionConfig | None = None,
+) -> dict:
+    """The full sweep; returns the JSON-ready record."""
+    cfg = config if config is not None else ExecutionConfig(cache="off")
+    table = random_table(
+        _SCHEMA, n_rows,
+        domains=[_DOMAINS[c] for c in _SCHEMA.columns],
+        seed=seed,
+    )
+    base = SortSpec.of(*_SCHEMA.columns)
+    source = Sort(TableScan(table), base, config=cfg).to_table()
+
+    cells = []
+    fidelity_problems: list[str] = []
+    for k in batch_sizes:
+        orders = related_orders(_SCHEMA.columns, k)
+
+        begin = time.perf_counter()
+        references = [_solo(source, spec, cfg) for spec in orders]
+        wall_independent = time.perf_counter() - begin
+
+        begin = time.perf_counter()
+        result = derive_batch(source, orders, config=cfg)
+        wall_planned = time.perf_counter() - begin
+
+        for spec, (ref_table, ref_stats) in zip(orders, references):
+            node = result.result_for(spec)
+            label = ",".join(str(c) for c in spec.columns)
+            if node.table.rows != ref_table.rows:
+                fidelity_problems.append(
+                    f"batch {k}, order {label}: rows diverged"
+                )
+            if node.table.ovcs != ref_table.ovcs:
+                fidelity_problems.append(
+                    f"batch {k}, order {label}: codes diverged"
+                )
+            parent = result.plan.nodes[result.plan.nodes[
+                result.plan.spec_nodes[spec]].parent]
+            if (
+                parent.kind == "source"
+                and node.stats_delta.as_dict() != ref_stats
+            ):
+                fidelity_problems.append(
+                    f"batch {k}, order {label}: source-derived counters"
+                    f" diverged"
+                )
+
+        cells.append({
+            "batch": k,
+            "wall_independent_s": round(wall_independent, 4),
+            "wall_planned_s": round(wall_planned, 4),
+            "speedup": round(wall_independent / wall_planned, 3)
+            if wall_planned > 0 else float("inf"),
+            "est_speedup": round(min(result.plan.est_speedup, 1e6), 3),
+            "sibling_edges": result.plan.sibling_edges(),
+            "fallbacks": result.fallbacks,
+        })
+
+    speedups = [c["speedup"] for c in cells]
+    geomean = 1.0
+    for s in speedups:
+        geomean *= s
+    geomean = geomean ** (1.0 / len(speedups)) if speedups else 0.0
+    return {
+        "n_rows": n_rows,
+        "seed": seed,
+        "python": platform.python_version(),
+        "batch_sizes": list(batch_sizes),
+        "cells": cells,
+        "min_speedup": round(min(speedups), 3) if speedups else 0.0,
+        "geomean_speedup": round(geomean, 3),
+        "gate_min_geomean": (
+            GATE_MIN_GEOMEAN if n_rows >= GATE_MIN_ROWS else None
+        ),
+        "fidelity_ok": not fidelity_problems,
+        "fidelity_problems": fidelity_problems,
+    }
+
+
+def check_plan_record(record: dict) -> list[str]:
+    """CI-gate findings for a planner record (empty = pass)."""
+    problems = list(record.get("fidelity_problems", []))
+    gate = record.get("gate_min_geomean")
+    if gate is not None and record["geomean_speedup"] < gate:
+        problems.append(
+            f"geomean speedup {record['geomean_speedup']}x below the "
+            f"{gate}x gate at {record['n_rows']:,} rows"
+        )
+    return problems
+
+
+def write_plan_trajectory(path: str, record: dict) -> None:
+    with open(path, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+
+
+def format_plan_summary(record: dict) -> list[dict]:
+    """Display rows for :func:`repro.bench.harness.format_table`."""
+    return [
+        {
+            "batch": cell["batch"],
+            "independent_s": cell["wall_independent_s"],
+            "planned_s": cell["wall_planned_s"],
+            "speedup": cell["speedup"],
+            "est_speedup": cell["est_speedup"],
+            "sibling_edges": cell["sibling_edges"],
+            "fallbacks": cell["fallbacks"],
+        }
+        for cell in record["cells"]
+    ]

@@ -119,6 +119,30 @@ def run_serve_trajectory(
         if cfg.cache != "off":
             with OrderService(cfg.with_(cache="off")) as bare:
                 fidelity_problems += verify_fidelity(bare, table, orders)
+        # Batched phase: the same load through the micro-batching
+        # planner path against a fresh cache, for latency deltas.
+        # Rows and codes stay bit-identical; counters describe the
+        # (cheaper) derivation work, so check_stats stays off — the
+        # same contract as the warm-cache path above.
+        if cfg.cache != "off":
+            reset_cache()
+            configure_cache(budget=cfg.cache_budget, ttl=cfg.cache_ttl)
+        batched_cfg = cfg.with_(
+            plan_window_ms=(
+                cfg.plan_window_ms if cfg.plan_window_ms is not None
+                else 25.0
+            )
+        )
+        with OrderService(batched_cfg) as batched:
+            batched_report = run_load(
+                batched, table, orders,
+                threads=threads, requests_per_thread=requests_per_thread,
+            )
+            batched_problems = verify_fidelity(
+                batched, table, orders, check_stats=False
+            )
+            batched_counters = batched.counters()
+        fidelity_problems += [f"batched: {p}" for p in batched_problems]
     finally:
         if cfg.cache != "off":
             reset_cache()
@@ -129,6 +153,27 @@ def run_serve_trajectory(
         "fidelity_ok": not fidelity_problems,
         "fidelity_problems": fidelity_problems,
         **report,
+        "batched": {
+            "plan_window_ms": batched_cfg.plan_window_ms,
+            "requests": batched_report["requests"],
+            "executions": batched_report["executions"],
+            "executions_per_request": (
+                batched_report["executions_per_request"]
+            ),
+            "coalesced_requests": batched_report["coalesced_requests"],
+            "planned_requests": batched_counters["planned"],
+            "planned_batches": batched_counters["planned_batches"],
+            "throughput_rps": batched_report["throughput_rps"],
+            "latency_ms": batched_report["latency_ms"],
+            "fidelity_ok": not batched_problems,
+        },
+        "latency_delta_ms": {
+            q: round(
+                batched_report["latency_ms"][q] - report["latency_ms"][q],
+                3,
+            )
+            for q in ("p50", "p95", "p99")
+        },
     }
 
 
@@ -144,6 +189,9 @@ def check_serve_record(record: dict) -> list[str]:
         )
     if record["coalesced_requests"] <= 0:
         problems.append("no requests were coalesced under duplicate load")
+    batched = record.get("batched")
+    if batched is not None and not batched.get("fidelity_ok", True):
+        problems.append("batched serving path failed rows/codes fidelity")
     return problems
 
 
@@ -166,6 +214,10 @@ def format_serve_summary(record: dict) -> list[dict]:
             "p50_ms": record["latency_ms"]["p50"],
             "p99_ms": record["latency_ms"]["p99"],
             "rps": record["throughput_rps"],
+            "batched_p50_ms": record.get("batched", {})
+            .get("latency_ms", {}).get("p50"),
+            "d_p50_ms": record.get("latency_delta_ms", {}).get("p50"),
+            "d_p95_ms": record.get("latency_delta_ms", {}).get("p95"),
             "fidelity_ok": record["fidelity_ok"],
         }
     ]

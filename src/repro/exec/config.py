@@ -162,6 +162,13 @@ class ExecutionConfig:
         Default per-request deadline in milliseconds (``None`` = no
         deadline); requests that cannot be answered in time fail with
         :class:`~repro.serve.DeadlineExceededError`.
+    plan_window_ms:
+        Micro-batch window of the serving layer's derivation planner
+        (:mod:`repro.plan`): after picking up a request, a scheduler
+        thread keeps draining the admission queue for this many
+        milliseconds and plans same-source siblings as one shared
+        derivation tree.  ``None`` (default) disables batching —
+        every request executes independently on arrival.
     """
 
     engine: str = "auto"
@@ -180,6 +187,7 @@ class ExecutionConfig:
     service_threads: int = 4
     service_queue_depth: int = 64
     service_deadline_ms: float | None = None
+    plan_window_ms: float | None = None
 
     def __post_init__(self) -> None:
         if self.engine not in _ENGINES:
@@ -254,6 +262,11 @@ class ExecutionConfig:
                 f"service_deadline_ms must be positive, "
                 f"got {self.service_deadline_ms}"
             )
+        if self.plan_window_ms is not None and self.plan_window_ms <= 0:
+            raise ValueError(
+                f"plan_window_ms must be positive, "
+                f"got {self.plan_window_ms}"
+            )
 
     # ------------------------------------------------------ constructors
 
@@ -285,7 +298,8 @@ class ExecutionConfig:
         accepted as ``on``/``off``), ``REPRO_CACHE_BUDGET``
         (``parse_memory`` syntax), ``REPRO_CACHE_TTL`` (seconds),
         ``REPRO_SERVICE_THREADS``, ``REPRO_SERVICE_QUEUE_DEPTH``,
-        ``REPRO_SERVICE_DEADLINE_MS``.  Unset variables keep the field
+        ``REPRO_SERVICE_DEADLINE_MS``, ``REPRO_PLAN_WINDOW_MS``.
+        Unset variables keep the field
         defaults — or ``base``'s values when a base config is given
         (the config-precedence rule *file < env < flags* hangs off
         this parameter: pass :meth:`from_file`'s result as ``base``).
@@ -322,6 +336,8 @@ class ExecutionConfig:
             kwargs["service_queue_depth"] = int(e["REPRO_SERVICE_QUEUE_DEPTH"])
         if e.get("REPRO_SERVICE_DEADLINE_MS"):
             kwargs["service_deadline_ms"] = float(e["REPRO_SERVICE_DEADLINE_MS"])
+        if e.get("REPRO_PLAN_WINDOW_MS"):
+            kwargs["plan_window_ms"] = float(e["REPRO_PLAN_WINDOW_MS"])
         if base is not None:
             return base.with_(**kwargs) if kwargs else base
         return cls(**kwargs)

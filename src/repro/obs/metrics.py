@@ -55,6 +55,12 @@ drift).  Counters:
   ``pool.shm_blocks`` / ``pool.shm_bytes`` — shared-memory data plane;
   ``pool.adaptive_serial`` — auto dispatch stayed serial below the
   calibrated break-even.
+* ``plan.batches`` / ``plan.nodes`` — batch derivation-planner runs
+  and orders they produced; ``plan.sibling_derivations`` — orders
+  derived from another *requested* order's fresh result;
+  ``plan.fallbacks`` — planned parents that were unusable at
+  execution (evicted entry, kernel type error) and re-derived from
+  the source.
 * ``profile.samples`` — stacks collected by the sampling profiler.
 * ``serve.requests`` / ``serve.executions`` /
   ``serve.coalesced_requests`` — order-service traffic (requests
@@ -62,7 +68,11 @@ drift).  Counters:
   request's execution); ``serve.rejected_overload`` — admissions shed
   at the bounded queue; ``serve.deadline_exceeded`` — requests that
   missed their deadline (queued-expired or waited-too-long);
-  ``serve.errors`` — executions that failed.
+  ``serve.errors`` — executions that failed;
+  ``serve.planned_requests`` / ``serve.planned_batches`` — requests
+  answered through the micro-batch derivation planner and the
+  batches formed; ``serve.normalized_orders`` — submitted orders
+  truncated to their row-unique prefix.
 * ``server.requests`` / ``server.errors`` — telemetry-endpoint traffic.
 * ``slowlog.entries`` — slow-query captures.
 
@@ -86,6 +96,9 @@ Histograms:
 * ``extsort.fan_in`` / ``extsort.run_rows`` — external-sort shape.
 * ``merge.fan_in`` / ``merge.run_rows`` — merge-of-runs shape.
 * ``modify.segment_rows`` / ``segment.rows`` — segment-sort sizes.
+* ``plan.batch_size`` — orders per planned batch;
+  ``plan.est_speedup`` — the plan's estimated comparisons saved vs
+  independent execution.
 * ``serve.latency_ms`` — per-request submit-to-response latency;
   ``serve.fanout`` — waiters served per execution (coalescing win).
 

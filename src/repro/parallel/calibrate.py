@@ -16,7 +16,11 @@ three constants the dispatch decision actually depends on:
 
 The result is cached as JSON under the spill directory (the system
 temp dir by default), keyed by host and Python version, so the
-microbenchmark runs once per host, not once per process.  Derived
+microbenchmark runs once per host, not once per process.  The cached
+payload records the full host profile (exact Python version and
+``os.cpu_count()``); a profile mismatch at load — patch upgrade,
+container resize, VM migration — invalidates the cache and
+re-measures rather than reusing a stale break-even point.  Derived
 defaults:
 
 * :meth:`Calibration.min_parallel_rows` — the break-even input size
@@ -200,6 +204,16 @@ def get(spill_dir: str | None = None, refresh: bool = False) -> Calibration:
         try:
             with open(path) as fh:
                 raw = json.load(fh)
+            # A cached break-even point only transfers between
+            # identical host profiles: the filename pins hostname and
+            # Python major.minor, but a patch upgrade or a changed
+            # core count (container resize, VM migration) silently
+            # shifts every measured constant — treat either as a
+            # cache miss and re-measure.
+            if raw.get("python") != platform.python_version():
+                raise ValueError("calibration cached by another Python")
+            if raw.get("cpu_count") != os.cpu_count():
+                raise ValueError("calibration cached on another host shape")
             cal = Calibration(
                 kernel_ns_row=float(raw["kernel_ns_row"]),
                 pickle_ns_row=float(raw["pickle_ns_row"]),
@@ -226,6 +240,7 @@ def get(spill_dir: str | None = None, refresh: bool = False) -> Calibration:
             payload = asdict(cal)
             payload["host"] = platform.node()
             payload["python"] = platform.python_version()
+            payload["cpu_count"] = os.cpu_count()
             tmp = f"{path}.{os.getpid()}.tmp"
             with open(tmp, "w") as fh:
                 json.dump(payload, fh, indent=2)

@@ -1,0 +1,127 @@
+"""Minimum spanning arborescence (Chu-Liu/Edmonds).
+
+The batch planner models one serving burst as a directed graph — nodes
+are sort orders, edge ``u -> v`` is "produce order v by modifying a
+materialization of order u", weighted by the cost model — plus a
+virtual root with zero-cost edges to every already-materialized order.
+The cheapest way to produce *all* requested orders is then exactly the
+minimum spanning arborescence rooted at the virtual root: every node
+gets one parent, total edge weight is minimal, and no cycles.
+
+The graphs here are tiny (a burst of requests plus cache residents,
+rarely more than a few dozen nodes), so the classic O(V*E)
+Chu-Liu/Edmonds algorithm is the right tool: pick each node's cheapest
+incoming edge, and while that choice contains a cycle, contract the
+cycle into a supernode with reduced edge weights and recurse.
+"""
+
+from __future__ import annotations
+
+
+def minimum_arborescence(
+    n_nodes: int,
+    root: int,
+    edges: list[tuple[int, int, float]],
+) -> dict[int, tuple[int, float]]:
+    """Cheapest arborescence of ``edges`` rooted at ``root``.
+
+    ``edges`` is a list of ``(u, v, weight)`` directed edges over nodes
+    ``0 .. n_nodes - 1``.  Returns ``{v: (u, weight)}`` — the chosen
+    parent and *original* weight for every node but the root.  Raises
+    ``ValueError`` when some node has no path from the root (callers
+    avoid this by always including a full-sort fallback edge).
+    """
+    if not 0 <= root < n_nodes:
+        raise ValueError(f"root {root} out of range for {n_nodes} nodes")
+    tagged = []
+    for i, (u, v, w) in enumerate(edges):
+        if not (0 <= u < n_nodes and 0 <= v < n_nodes):
+            raise ValueError(f"edge ({u}, {v}) out of range")
+        if v != root and u != v:
+            tagged.append((u, v, float(w), i))
+    chosen = _solve(list(range(n_nodes)), root, tagged)
+    out: dict[int, tuple[int, float]] = {}
+    for e in chosen:
+        u, v, _w, i = edges[e[3]][0], edges[e[3]][1], e[2], e[3]
+        out[v] = (u, float(edges[i][2]))
+    return out
+
+
+def _solve(nodes: list[int], root: int, edges: list[tuple]) -> set:
+    """Recursive Edmonds step; returns the subset of ``edges`` chosen.
+
+    Each edge is ``(u, v, w, tag)`` in *this* level's node id space;
+    ``tag`` is opaque (the original edge index at the top level, the
+    parent-level edge tuple below it).  Contracted levels re-enter with
+    each new edge's tag set to the edge it stands for, so unwinding one
+    level of contraction is a constant-time lookup.
+    """
+    min_in: dict[int, tuple] = {}
+    for e in edges:
+        u, v, w = e[0], e[1], e[2]
+        if v == root or u == v:
+            continue
+        best = min_in.get(v)
+        if best is None or w < best[2]:
+            min_in[v] = e
+    missing = [v for v in nodes if v != root and v not in min_in]
+    if missing:
+        raise ValueError(f"nodes {missing} are unreachable from the root")
+
+    cycle = _find_cycle(nodes, root, min_in)
+    if cycle is None:
+        return {min_in[v] for v in nodes if v != root}
+
+    # Contract the cycle into one supernode; edges into it are reduced
+    # by the cycle's own chosen in-edge weight (the classic reweighting
+    # that makes the greedy choice optimal after expansion).
+    cyc = set(cycle)
+    super_id = max(nodes) + 1
+    remap = {v: (super_id if v in cyc else v) for v in nodes}
+    sub_nodes = [v for v in nodes if v not in cyc] + [super_id]
+    sub_edges = []
+    for e in edges:
+        u, v, w = remap[e[0]], remap[e[1]], e[2]
+        if u == v:
+            continue
+        if v == super_id:
+            w = w - min_in[e[1]][2]
+        sub_edges.append((u, v, w, e))
+    chosen_sub = _solve(sub_nodes, remap[root], sub_edges)
+
+    result = set()
+    entering = None
+    for f in chosen_sub:
+        e = f[3]  # the level-local edge this contracted edge stands for
+        result.add(e)
+        if f[1] == super_id:
+            entering = e
+    # The cycle keeps every chosen internal edge except the one into
+    # the node the entering edge now feeds.
+    break_at = entering[1]
+    for v in cyc:
+        if v != break_at:
+            result.add(min_in[v])
+    return result
+
+
+def _find_cycle(
+    nodes: list[int], root: int, min_in: dict[int, tuple]
+) -> list[int] | None:
+    """A cycle in the chosen-parent graph, or ``None`` if it is a tree."""
+    state: dict[int, int] = {}  # node -> walk id that first visited it
+    for start in nodes:
+        if start == root or start in state:
+            continue
+        cur = start
+        while cur != root and cur not in state:
+            state[cur] = start
+            cur = min_in[cur][0]
+        if cur != root and state.get(cur) == start:
+            cycle = [cur]
+            nxt = min_in[cur][0]
+            while nxt != cur:
+                cycle.append(nxt)
+                nxt = min_in[nxt][0]
+            return cycle
+    return None

@@ -113,6 +113,53 @@ class Query:
             Sort(self._op, SortSpec.of(*columns), method=method, config=cfg)
         )
 
+    def order_by_many(
+        self,
+        orders: Sequence,
+        *,
+        config: "ExecutionConfig | None" = None,
+        max_concurrency: int | None = None,
+    ) -> list[Table]:
+        """Materialize several sort orders of this query at once.
+
+        ``orders`` is a sequence of targets (each a
+        :class:`~repro.model.SortSpec`, a column-name string, or an
+        iterable of columns).  This is a *terminal*: the plan runs
+        once, and the batch derivation planner (:mod:`repro.plan`)
+        derives each order from its cheapest parent — the
+        materialized result, a cache-resident order when
+        ``config.cache`` is on, or one of the other requested orders
+        — instead of sorting from scratch N times.  Returns one
+        :class:`~repro.model.Table` per target, in request order,
+        each bit-identical (rows and codes) to what
+        ``.order_by(...)`` would have produced; derivation counters
+        merge into the plan's stats.
+        """
+        cfg = resolve_config(config, "Query.order_by_many")
+        from .plan import derive_batch
+
+        with LOG.query_scope():
+            mark = SLOWLOG.mark()
+            source = self._op.to_table()
+            if not list(orders):
+                self._observe(mark, "query.order_by_many", len(source.rows))
+                return []
+            result = derive_batch(
+                source, orders, config=cfg, max_concurrency=max_concurrency
+            )
+            self._op.stats.merge(result.stats)
+            if LOG.enabled:
+                LOG.event(
+                    "plan.order_by_many",
+                    orders=len(result.specs),
+                    sibling_edges=result.plan.sibling_edges(),
+                    est_speedup=round(
+                        min(result.plan.est_speedup, 1e6), 3
+                    ),
+                )
+            self._observe(mark, "query.order_by_many", len(source.rows))
+            return result.tables()
+
     def group_by(
         self,
         group_columns: Sequence[str],

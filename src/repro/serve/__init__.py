@@ -22,8 +22,13 @@ Typical use::
 Module map: :mod:`.service` (OrderService/Ticket), :mod:`.queue`
 (bounded multi-tenant admission), :mod:`.registry` (in-flight
 coalescing), :mod:`.request` (response/in-flight shapes),
+:mod:`.normalize` (unique-prefix order normalization),
 :mod:`.errors` (failure contract), :mod:`.load` (closed-loop load
 driver behind ``serve --load`` and ``BENCH_serve.json``).
+
+With ``ExecutionConfig.plan_window_ms`` set, scheduler threads drain
+the queue in micro-batches and execute same-source groups as one
+shared derivation tree through :mod:`repro.plan`.
 """
 
 from .errors import (
@@ -33,6 +38,7 @@ from .errors import (
     ServiceOverloadError,
 )
 from .load import default_orders, run_load
+from .normalize import SpecNormalizer
 from .queue import AdmissionQueue
 from .registry import InflightRegistry
 from .request import OrderResponse
@@ -48,6 +54,7 @@ __all__ = [
     "ServiceClosedError",
     "AdmissionQueue",
     "InflightRegistry",
+    "SpecNormalizer",
     "current_service",
     "run_load",
     "default_orders",

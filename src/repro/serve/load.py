@@ -136,6 +136,7 @@ def run_load(
         "throughput_rps": round(outcomes["ok"] / wall_s, 2) if wall_s else 0.0,
         "latency_ms": {
             "p50": round(_percentile(lat_ms, 50), 3),
+            "p95": round(_percentile(lat_ms, 95), 3),
             "p99": round(_percentile(lat_ms, 99), 3),
             "mean": round(sum(lat_ms) / len(lat_ms), 3) if lat_ms else 0.0,
             "max": round(lat_ms[-1], 3) if lat_ms else 0.0,
@@ -145,5 +146,6 @@ def run_load(
             "queue_depth": service.config.service_queue_depth,
             "deadline_ms": service.config.service_deadline_ms,
             "cache": service.config.cache,
+            "plan_window_ms": service.config.plan_window_ms,
         },
     }

@@ -20,6 +20,16 @@ One in-process service owns the workload-level concerns that a solo
   deadline fail with :class:`~repro.serve.DeadlineExceededError`.
 * **Tenant fairness** — the queue round-robins across tenants, so one
   tenant's backlog cannot starve another's single request.
+* **Order normalization** — submitted orders are truncated to their
+  shortest row-unique prefix (:mod:`repro.serve.normalize`), so
+  trivially equivalent targets (trailing keys implied by a unique
+  prefix) coalesce instead of executing separately.
+* **Micro-batch planning** — with ``config.plan_window_ms`` set, a
+  scheduler thread holds its first request for that window, drains
+  concurrently pending work, and hands same-source groups of
+  *distinct-but-related* orders to the batch derivation planner
+  (:mod:`repro.plan`) as one shared derivation tree; rows and codes
+  stay bit-identical per request, at a fraction of the comparisons.
 
 Executions run on ``config.service_threads`` scheduler threads, each
 through the ordinary :class:`~repro.engine.sort_op.Sort` operator with
@@ -53,6 +63,7 @@ from .errors import (
     ServiceClosedError,
     ServiceOverloadError,
 )
+from .normalize import SpecNormalizer
 from .queue import AdmissionQueue
 from .registry import InflightRegistry
 from .request import Inflight, OrderResponse
@@ -206,7 +217,10 @@ class OrderService:
             "rejected": 0,
             "deadline_exceeded": 0,
             "errors": 0,
+            "planned": 0,
+            "planned_batches": 0,
         }
+        self._normalizer = SpecNormalizer()
         self._executing = 0
         self._threads = [
             threading.Thread(
@@ -296,6 +310,17 @@ class OrderService:
             None if deadline_ms is None else now + deadline_ms / 1000.0
         )
         fp = fingerprint_table(source)
+        normalized = self._normalizer.normalize(fp, source, spec)
+        if normalized is not spec:
+            if METRICS.enabled:
+                METRICS.counter("serve.normalized_orders").inc()
+            if LOG.enabled:
+                LOG.event(
+                    "serve.normalize", tenant=tenant,
+                    order=",".join(str(c) for c in spec.columns),
+                    normalized=",".join(str(c) for c in normalized.columns),
+                )
+            spec = normalized
         key = (fp.source_key, fp.sequence, spec)
 
         def _create() -> Inflight:
@@ -353,13 +378,119 @@ class OrderService:
     # ----------------------------------------------------------- execution
 
     def _worker(self) -> None:
+        window = self._config.plan_window_ms
         while True:
             entry = self._queue.get(timeout=0.1)
             if entry is None:
                 if self._closed and len(self._queue) == 0:
                     return
                 continue
-            self._execute(entry)
+            if window is None:
+                self._execute(entry)
+            else:
+                self._execute_batch(self._drain_batch(entry, window / 1000.0))
+
+    def _drain_batch(self, first: Inflight, window_s: float) -> list:
+        """Hold ``first`` for up to ``window_s`` while draining the
+        queue, collecting a micro-batch of concurrently pending work."""
+        entries = [first]
+        deadline = self._clock() + window_s
+        while True:
+            remaining = deadline - self._clock()
+            if remaining <= 0:
+                return entries
+            entry = self._queue.get(timeout=remaining)
+            if entry is not None:
+                entries.append(entry)
+            elif self._closed:
+                return entries
+
+    def _execute_batch(self, entries: list) -> None:
+        """Execute one drained micro-batch: same-source groups of two
+        or more go through the derivation planner as one shared tree,
+        everything else takes the ordinary solo path."""
+        groups: dict[tuple, list] = {}
+        for entry in entries:
+            groups.setdefault(entry.key[:2], []).append(entry)
+        for group in groups.values():
+            if len(group) == 1:
+                self._execute(group[0])
+            else:
+                self._plan_group(group)
+
+    def _plan_group(self, group: list) -> None:
+        from ..plan import derive_batch
+
+        now = self._clock()
+        live = []
+        for entry in group:
+            if entry.expired(now):
+                entry.error = DeadlineExceededError(
+                    f"request expired in queue after "
+                    f"{(now - entry.submitted_at) * 1000:.0f}ms"
+                )
+                if LOG.enabled:
+                    LOG.event(
+                        "serve.expired", tenant=entry.tenant,
+                        waiters=entry.waiters,
+                        queued_ms=round(
+                            (now - entry.submitted_at) * 1000, 1
+                        ),
+                    )
+                self._finish(entry)
+            else:
+                live.append(entry)
+        if len(live) < 2:
+            for entry in live:
+                self._execute(entry)
+            return
+        with self._stats_lock:
+            self._executing += len(live)
+        try:
+            with LOG.query_scope():
+                result = derive_batch(
+                    live[0].source, [e.spec for e in live],
+                    config=self._config,
+                )
+            for entry in live:
+                node = result.result_for(entry.spec)
+                entry.table = node.table
+                entry.label = node.label
+                entry.stats_delta = node.stats_delta
+            self._count("executions", len(live))
+            self._count("planned", len(live))
+            self._count("planned_batches")
+            if METRICS.enabled:
+                METRICS.counter("serve.executions").inc(len(live))
+                METRICS.counter("serve.planned_requests").inc(len(live))
+                METRICS.counter("serve.planned_batches").inc()
+                for entry in live:
+                    METRICS.histogram("serve.fanout").observe(entry.waiters)
+            if LOG.enabled:
+                LOG.event(
+                    "serve.batch",
+                    orders=len(live),
+                    sibling_edges=result.plan.sibling_edges(),
+                    est_speedup=round(
+                        min(result.plan.est_speedup, 1e6), 3
+                    ),
+                    fallbacks=result.fallbacks,
+                )
+        except BaseException as exc:  # noqa: BLE001 - solo path recovers
+            with self._stats_lock:
+                self._executing -= len(live)
+            if LOG.enabled:
+                LOG.event(
+                    "serve.batch_fallback", orders=len(live),
+                    error=repr(exc),
+                )
+            for entry in live:
+                self._execute(entry)
+            return
+        with self._stats_lock:
+            self._executing -= len(live)
+        for entry in live:
+            self._finish(entry)
 
     def _execute(self, entry: Inflight) -> None:
         now = self._clock()

@@ -25,7 +25,7 @@ def _run_from_repo_root(monkeypatch):
 def _args(tmp_path, fastpath: dict, **extra: str) -> list[str]:
     fp = tmp_path / "fresh_fastpath.json"
     fp.write_text(json.dumps(fastpath))
-    argv = ["--fresh-fastpath", str(fp), "--skip-cache"]
+    argv = ["--fresh-fastpath", str(fp), "--skip-cache", "--skip-plan"]
     for flag, value in extra.items():
         argv += [f"--{flag.replace('_', '-')}", value]
     return argv
@@ -95,6 +95,32 @@ def test_cache_comparison_checks_hit_speedup(tmp_path, capsys):
     )
     assert rc == 1
     assert "hit_speedup" in capsys.readouterr().out
+
+
+def test_plan_comparison_green_then_red_on_slowdown(tmp_path, capsys):
+    base = _args(tmp_path, _committed("BENCH_fastpath.json"))[:3]
+    good = tmp_path / "fresh_plan.json"
+    good.write_text(json.dumps(_committed("BENCH_plan.json")))
+    assert check_regression.main(base + ["--fresh-plan", str(good)]) == 0
+
+    slowed = _committed("BENCH_plan.json")
+    for cell in slowed["cells"]:
+        cell["speedup"] /= 4.0
+    bad = tmp_path / "slow_plan.json"
+    bad.write_text(json.dumps(slowed))
+    assert check_regression.main(base + ["--fresh-plan", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "plan batch" in out
+    assert "plan geomean" in out
+
+
+def test_plan_fidelity_failure_detected(tmp_path):
+    broken = _committed("BENCH_plan.json")
+    broken["fidelity_ok"] = False
+    path = tmp_path / "fresh_plan.json"
+    path.write_text(json.dumps(broken))
+    base = _args(tmp_path, _committed("BENCH_fastpath.json"))[:3]
+    assert check_regression.main(base + ["--fresh-plan", str(path)]) == 1
 
 
 def test_parallel_fidelity_failure_detected(tmp_path):

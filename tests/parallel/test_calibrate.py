@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import json
 import os
+import platform
 
 import pytest
 
@@ -103,19 +104,64 @@ def test_memo_short_circuits_disk(tmp_path):
     assert calibrate.get(spill_dir=str(tmp_path)) is first
 
 
+def _profile(**overrides) -> dict:
+    """A cache payload matching the live host profile (so it loads)."""
+    payload = {
+        "kernel_ns_row": 1.0,
+        "pickle_ns_row": 2.0,
+        "plane_ns_row": 3.0,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+    }
+    payload.update(overrides)
+    return payload
+
+
 def test_refresh_remeasures_over_cache(tmp_path):
     path = calibrate._cache_path(str(tmp_path))
     with open(path, "w") as fh:
-        json.dump(
-            {"kernel_ns_row": 1.0, "pickle_ns_row": 2.0, "plane_ns_row": 3.0},
-            fh,
-        )
+        json.dump(_profile(), fh)
     cached = calibrate.get(spill_dir=str(tmp_path))
     assert cached.source == "cache"
     assert cached.kernel_ns_row == 1.0
     refreshed = calibrate.get(spill_dir=str(tmp_path), refresh=True)
     assert refreshed.source == "measured"
     assert refreshed.kernel_ns_row != 1.0
+
+
+def test_cpu_count_mismatch_invalidates_cache(tmp_path):
+    path = calibrate._cache_path(str(tmp_path))
+    with open(path, "w") as fh:
+        json.dump(_profile(cpu_count=(os.cpu_count() or 1) + 8), fh)
+    cal = calibrate.get(spill_dir=str(tmp_path))
+    assert cal.source == "measured"
+    assert cal.kernel_ns_row != 1.0
+    # The re-measurement rewrote the cache with the live profile.
+    with open(path) as fh:
+        raw = json.load(fh)
+    assert raw["cpu_count"] == os.cpu_count()
+    assert raw["python"] == platform.python_version()
+
+
+def test_python_version_mismatch_invalidates_cache(tmp_path):
+    path = calibrate._cache_path(str(tmp_path))
+    with open(path, "w") as fh:
+        json.dump(_profile(python="0.0.0"), fh)
+    cal = calibrate.get(spill_dir=str(tmp_path))
+    assert cal.source == "measured"
+
+
+def test_profile_less_legacy_cache_invalidated(tmp_path):
+    # Caches written before the host profile was recorded must not be
+    # trusted — missing keys read as a mismatch.
+    path = calibrate._cache_path(str(tmp_path))
+    with open(path, "w") as fh:
+        json.dump(
+            {"kernel_ns_row": 1.0, "pickle_ns_row": 2.0, "plane_ns_row": 3.0},
+            fh,
+        )
+    cal = calibrate.get(spill_dir=str(tmp_path))
+    assert cal.source == "measured"
 
 
 def test_corrupt_cache_falls_back_to_measurement(tmp_path):

@@ -1,0 +1,26 @@
+"""Plan-suite hygiene: reset process-wide singletons around each test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import reset_cache
+from repro.obs import LOG, METRICS, SLOWLOG, TRACER
+
+
+def _reset_all():
+    TRACER.disable()
+    TRACER.reset()
+    METRICS.disable()
+    METRICS.reset()
+    LOG.disable()
+    SLOWLOG.disable()
+    SLOWLOG.clear()
+    reset_cache()
+
+
+@pytest.fixture(autouse=True)
+def clean_state():
+    _reset_all()
+    yield
+    _reset_all()

@@ -1,0 +1,131 @@
+"""Chu-Liu/Edmonds minimum spanning arborescence: exactness + edges."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.plan import minimum_arborescence
+
+
+def _total(chosen: dict) -> float:
+    return sum(w for _u, w in chosen.values())
+
+
+def _brute_force(n: int, root: int, edges) -> float | None:
+    """Cheapest arborescence weight by enumerating parent choices."""
+    incoming = {v: [] for v in range(n) if v != root}
+    for u, v, w in edges:
+        if v != root and u != v:
+            incoming[v].append((u, w))
+    if any(not choices for choices in incoming.values()):
+        return None
+    best = None
+    keys = list(incoming)
+    for combo in itertools.product(*(incoming[v] for v in keys)):
+        parent = dict(zip(keys, combo))
+        ok = True
+        for v in keys:
+            cur, seen = v, set()
+            while cur != root:
+                if cur in seen:
+                    ok = False
+                    break
+                seen.add(cur)
+                cur = parent[cur][0]
+            if not ok:
+                break
+        if ok:
+            total = sum(w for _u, w in combo)
+            if best is None or total < best:
+                best = total
+    return best
+
+
+def test_star_when_direct_edges_are_cheapest():
+    edges = [(0, 1, 1.0), (0, 2, 1.0), (1, 2, 5.0), (2, 1, 5.0)]
+    chosen = minimum_arborescence(3, 0, edges)
+    assert chosen == {1: (0, 1.0), 2: (0, 1.0)}
+
+
+def test_chain_when_derivation_is_cheaper():
+    edges = [
+        (0, 1, 10.0), (0, 2, 10.0), (0, 3, 10.0),
+        (1, 2, 1.0), (2, 3, 1.0),
+    ]
+    chosen = minimum_arborescence(4, 0, edges)
+    assert chosen == {1: (0, 10.0), 2: (1, 1.0), 3: (2, 1.0)}
+
+
+def test_two_cycle_contraction():
+    # a and b each prefer the other; the cycle must break toward root.
+    edges = [(0, 1, 10.0), (0, 2, 10.0), (1, 2, 1.0), (2, 1, 1.0)]
+    chosen = minimum_arborescence(3, 0, edges)
+    assert _total(chosen) == 11.0
+    parents = {v: u for v, (u, _w) in chosen.items()}
+    assert sorted(parents) == [1, 2]
+    assert 0 in parents.values()  # exactly one node hangs off the root
+
+
+def test_three_cycle_contraction():
+    edges = [
+        (0, 1, 9.0), (0, 2, 20.0), (0, 3, 20.0),
+        (1, 2, 1.0), (2, 3, 1.0), (3, 1, 1.0),
+    ]
+    chosen = minimum_arborescence(4, 0, edges)
+    assert _total(chosen) == 11.0
+    assert chosen[1] == (0, 9.0)
+
+
+def test_unreachable_node_raises():
+    with pytest.raises(ValueError, match="unreachable"):
+        minimum_arborescence(3, 0, [(0, 1, 1.0)])
+
+
+def test_root_out_of_range_raises():
+    with pytest.raises(ValueError, match="root"):
+        minimum_arborescence(2, 5, [(0, 1, 1.0)])
+
+
+def test_edge_out_of_range_raises():
+    with pytest.raises(ValueError, match="out of range"):
+        minimum_arborescence(2, 0, [(0, 7, 1.0)])
+
+
+def test_parallel_edges_and_self_loops_tolerated():
+    edges = [(0, 1, 5.0), (0, 1, 2.0), (1, 1, 0.0)]
+    assert minimum_arborescence(2, 0, edges) == {1: (0, 2.0)}
+
+
+@given(
+    st.integers(3, 6),
+    st.lists(st.integers(0, 20), min_size=12, max_size=40),
+)
+@settings(max_examples=120, deadline=None)
+def test_matches_brute_force_on_random_graphs(n, weights):
+    pairs = [(u, v) for u in range(n) for v in range(1, n) if u != v]
+    edges = [
+        (u, v, float(w)) for (u, v), w in zip(pairs, itertools.cycle(weights))
+    ]
+    # Thin the graph deterministically from the weight stream so some
+    # examples are sparse (exercising contraction and unreachability).
+    edges = [e for i, e in enumerate(edges) if weights[i % len(weights)] != 7]
+    expected = _brute_force(n, 0, edges)
+    if expected is None:
+        with pytest.raises(ValueError):
+            minimum_arborescence(n, 0, edges)
+        return
+    chosen = minimum_arborescence(n, 0, edges)
+    assert _total(chosen) == pytest.approx(expected)
+    # The result is a well-formed arborescence: every non-root node
+    # has one parent and walks up to the root without cycling.
+    assert sorted(chosen) == [v for v in range(1, n)]
+    for v in chosen:
+        cur, seen = v, set()
+        while cur != 0:
+            assert cur not in seen
+            seen.add(cur)
+            cur = chosen[cur][0]

@@ -1,0 +1,145 @@
+"""Property-based differential: planned batches == per-request runs.
+
+The planner's whole contract is bit-identity — every node's rows and
+codes must match what an independent ``Sort`` of the same order would
+produce, whatever parent the arborescence picked.  Hypothesis drives
+random tables (tiny domains, so duplicate groups and full-key ties are
+dense), random order batches drawn from permutations and prefixes,
+both engines, ordered and unordered sources, and thread counts.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import Sort, TableScan
+from repro.exec import ExecutionConfig
+from repro.model import Schema, SortSpec, Table
+from repro.plan import derive_batch
+from repro.workloads.generators import random_table
+
+SCHEMA = Schema.of("A", "B", "C")
+
+#: Every permutation of the columns, plus the proper prefixes of a few
+#: of them — related and unrelated targets mixed.
+ORDER_POOL = [
+    SortSpec.of(*perm)
+    for perm in itertools.permutations(SCHEMA.columns)
+] + [
+    SortSpec.of("A"),
+    SortSpec.of("B"),
+    SortSpec.of("A", "B"),
+    SortSpec.of("B", "C"),
+    SortSpec.of("C DESC", "A"),
+]
+
+rows_st = st.lists(
+    st.tuples(
+        st.integers(0, 4), st.integers(0, 4), st.integers(0, 4)
+    ),
+    min_size=0,
+    max_size=48,
+)
+batch_st = st.lists(
+    st.sampled_from(ORDER_POOL), min_size=1, max_size=6
+)
+
+
+def _solo(source: Table, spec: SortSpec, cfg: ExecutionConfig):
+    op = Sort(TableScan(source), spec, config=cfg)
+    return op.to_table(), op.stats
+
+
+def _check(source: Table, specs, cfg: ExecutionConfig, workers: int):
+    result = derive_batch(
+        source, specs, config=cfg, max_concurrency=workers
+    )
+    for spec in specs:
+        ref_table, ref_stats = _solo(source, spec, cfg)
+        node = result.result_for(spec)
+        assert node.table.rows == ref_table.rows, spec
+        assert node.table.ovcs == ref_table.ovcs, spec
+        parent = result.plan.nodes[
+            result.plan.nodes[result.plan.spec_nodes[spec]].parent
+        ]
+        if parent.kind == "source" and not node.fallback:
+            assert node.stats_delta.as_dict() == ref_stats.as_dict(), spec
+
+
+@given(rows_st, batch_st, st.sampled_from([1, 2, 4]))
+@settings(max_examples=60, deadline=None)
+def test_unordered_source_reference_engine(rows, specs, workers):
+    source = Table(SCHEMA, rows, None, None)
+    _check(source, specs, ExecutionConfig(cache="off"), workers)
+
+
+@given(rows_st, batch_st, st.sampled_from([1, 2, 4]))
+@settings(max_examples=60, deadline=None)
+def test_ordered_source_reference_engine(rows, specs, workers):
+    base = Table(SCHEMA, rows, None, None)
+    source = Sort(
+        TableScan(base), SortSpec.of("A", "B", "C"),
+        config=ExecutionConfig(cache="off"),
+    ).to_table()
+    _check(source, specs, ExecutionConfig(cache="off"), workers)
+
+
+@given(rows_st, batch_st, st.sampled_from([1, 4]))
+@settings(max_examples=40, deadline=None)
+def test_ordered_source_fast_engine(rows, specs, workers):
+    cfg = ExecutionConfig(cache="off", engine="fast")
+    base = Table(SCHEMA, rows, None, None)
+    source = Sort(
+        TableScan(base), SortSpec.of("A", "B", "C"), config=cfg
+    ).to_table()
+    _check(source, specs, cfg, workers)
+
+
+@given(rows_st, batch_st)
+@settings(max_examples=40, deadline=None)
+def test_batch_with_cache_enabled(rows, specs):
+    from repro.cache import configure_cache, reset_cache
+
+    reset_cache()
+    configure_cache(budget=1 << 22)
+    try:
+        base = Table(SCHEMA, rows, None, None)
+        cfg = ExecutionConfig(cache="on")
+        source = Sort(
+            TableScan(base), SortSpec.of("A", "B", "C"), config=cfg
+        ).to_table()
+        result = derive_batch(source, specs, config=cfg, max_concurrency=1)
+        solo_cfg = ExecutionConfig(cache="off")
+        for spec in specs:
+            ref_table, _ = _solo(source, spec, solo_cfg)
+            node = result.result_for(spec)
+            assert node.table.rows == ref_table.rows, spec
+            assert node.table.ovcs == ref_table.ovcs, spec
+    finally:
+        reset_cache()
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_process_parallel_modification_in_batch(workers):
+    """The config's process pool composes with the batch executor."""
+    cfg = ExecutionConfig(cache="off", workers=workers)
+    table = random_table(Schema.of("A", "B", "C", "D"), 4096,
+                         domains=[6, 8, 24, 4], seed=11)
+    source = Sort(
+        TableScan(table), SortSpec.of("A", "B", "C", "D"), config=cfg
+    ).to_table()
+    specs = [
+        SortSpec.of("A", "B", "D", "C"),
+        SortSpec.of("B", "C", "D", "A"),
+        SortSpec.of("C", "D", "A", "B"),
+    ]
+    result = derive_batch(source, specs, config=cfg)
+    for spec in specs:
+        ref_table, _ = _solo(source, spec, cfg)
+        node = result.result_for(spec)
+        assert node.table.rows == ref_table.rows
+        assert node.table.ovcs == ref_table.ovcs
